@@ -1,0 +1,55 @@
+"""Fig. 7(a): maximum branching factor vs network size (16..8192).
+
+Paper claims reproduced here:
+* basic DAT max branching grows on a log scale with n (random ids worst);
+* identifier probing shrinks it substantially but it still grows;
+* balanced DAT + probing stays an (almost) constant small value;
+* balanced DAT without probing still grows log-scale (gap ratio O(log n)).
+"""
+
+from repro.experiments.fig7_tree_properties import run_fig7_tree_properties
+from repro.experiments.report import format_table
+
+SIZES = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+
+
+def test_fig7a_max_branching(benchmark, emit):
+    points = benchmark.pedantic(
+        run_fig7_tree_properties,
+        kwargs={"sizes": SIZES, "n_seeds": 3, "master_seed": 2007},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig7a_max_branching",
+        format_table(
+            [p.as_row() for p in points],
+            columns=["scheme", "ids", "n", "max_branching"],
+            title="Fig 7(a) — max branching factor vs network size",
+        ),
+    )
+
+    by = {(p.scheme, p.id_strategy, p.n_nodes): p for p in points}
+
+    # Balanced + probing: near-constant small max branching at every size.
+    for n in SIZES:
+        assert by[("balanced", "probing", n)].max_branching <= 8.0, n
+
+    # Basic DAT grows with n (log-scale): 8192 markedly above 16.
+    assert (
+        by[("basic", "random", 8192)].max_branching
+        >= by[("basic", "random", 16)].max_branching + 4
+    )
+
+    # Probing reduces the basic DAT's max branching at scale (paper: 16 vs 43).
+    assert (
+        by[("basic", "probing", 8192)].max_branching
+        < by[("basic", "random", 8192)].max_branching
+    )
+
+    # Balanced without probing still grows: strictly above the probing curve
+    # at scale.
+    assert (
+        by[("balanced", "random", 8192)].max_branching
+        > by[("balanced", "probing", 8192)].max_branching
+    )

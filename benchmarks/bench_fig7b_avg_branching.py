@@ -1,0 +1,45 @@
+"""Fig. 7(b): average branching factor vs network size.
+
+Paper claims: the average branching factor (over internal nodes) of both
+DAT schemes is constant in n — about 2 with identifier probing and about
+3-3.2 without it.
+"""
+
+from repro.experiments.fig7_tree_properties import run_fig7_tree_properties
+from repro.experiments.report import format_table
+
+SIZES = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+
+
+def test_fig7b_avg_branching(benchmark, emit):
+    points = benchmark.pedantic(
+        run_fig7_tree_properties,
+        kwargs={"sizes": SIZES, "n_seeds": 3, "master_seed": 2007},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig7b_avg_branching",
+        format_table(
+            [p.as_row() for p in points],
+            columns=["scheme", "ids", "n", "avg_branching"],
+            title="Fig 7(b) — average branching factor vs network size",
+        ),
+    )
+
+    by = {(p.scheme, p.id_strategy, p.n_nodes): p for p in points}
+
+    large_sizes = [n for n in SIZES if n >= 128]
+    for scheme in ("basic", "balanced"):
+        # With probing: constant ~2 (paper: "almost the same constant
+        # average branching factor of 2").
+        probing_values = [by[(scheme, "probing", n)].avg_branching for n in large_sizes]
+        assert all(1.7 <= v <= 2.7 for v in probing_values), (scheme, probing_values)
+
+        # Without probing: higher (paper: 3 and 3.2) but still flat in n.
+        random_values = [by[(scheme, "random", n)].avg_branching for n in large_sizes]
+        assert all(2.3 <= v <= 4.0 for v in random_values), (scheme, random_values)
+        assert max(random_values) - min(random_values) < 1.0  # flat
+
+        # Probing's average sits below random's.
+        assert probing_values[-1] < random_values[-1]

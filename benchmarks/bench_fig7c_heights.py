@@ -1,0 +1,52 @@
+"""Fig. 7 companion: DAT tree heights vs network size.
+
+Sec. 3.3/3.5 bound both schemes' heights by O(log n); the balanced scheme
+trades its constant branching for (at most) the same height class. This
+bench regenerates the height curves alongside Fig. 7's branching curves
+and pins the growth class.
+"""
+
+from repro.experiments.fig7_tree_properties import run_fig7_tree_properties
+from repro.experiments.report import format_table
+from repro.util.bits import ceil_log2
+
+SIZES = [16, 64, 256, 1024, 4096, 8192]
+
+
+def test_fig7c_heights(benchmark, emit):
+    points = benchmark.pedantic(
+        run_fig7_tree_properties,
+        kwargs={"sizes": SIZES, "n_seeds": 3, "master_seed": 2007},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig7c_heights",
+        format_table(
+            [p.as_row() for p in points],
+            columns=["scheme", "ids", "n", "height"],
+            title="Fig 7 companion — tree height vs network size",
+        ),
+    )
+    by = {(p.scheme, p.id_strategy, p.n_nodes): p for p in points}
+
+    for n in SIZES:
+        log_n = ceil_log2(n)
+        for scheme in ("basic", "balanced"):
+            for ids in ("random", "probing"):
+                height = by[(scheme, ids, n)].height
+                # O(log n): within 2x of log2(n) for every configuration.
+                assert height <= 2 * log_n + 2, (scheme, ids, n, height)
+
+    # Growth is logarithmic: 512x more nodes adds only ~9-ish levels.
+    for scheme in ("basic", "balanced"):
+        small = by[(scheme, "probing", 16)].height
+        large = by[(scheme, "probing", 8192)].height
+        assert large - small <= 2 * (ceil_log2(8192) - ceil_log2(16))
+
+    # The balanced scheme's height stays within ~2x of the basic scheme's
+    # (the cost of capping the branching factor).
+    for n in SIZES:
+        basic = by[("basic", "probing", n)].height
+        balanced = by[("balanced", "probing", n)].height
+        assert balanced <= 2 * basic + 2

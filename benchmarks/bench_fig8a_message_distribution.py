@@ -1,0 +1,57 @@
+"""Fig. 8(a): aggregation-message distribution by node rank, n = 512.
+
+Paper anchors: centralized root processes ~511 messages (one per other
+node); the most loaded basic-DAT node is an order of magnitude lighter;
+the most loaded balanced-DAT node carries only a handful.
+"""
+
+from repro.experiments.fig8_load_balance import run_fig8a_message_distribution
+from repro.experiments.report import format_table
+
+
+def test_fig8a_message_distribution(benchmark, emit):
+    dist = benchmark.pedantic(
+        run_fig8a_message_distribution,
+        kwargs={"n_nodes": 512, "seed": 2007},
+        rounds=1,
+        iterations=1,
+    )
+
+    ranks = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 511]
+    rows = [
+        {
+            "rank": rank,
+            "centralized": dist.centralized[rank],
+            "basic": dist.basic[rank],
+            "balanced": dist.balanced[rank],
+        }
+        for rank in ranks
+    ]
+    summary = dist.summary()
+    rows.append(
+        {
+            "rank": "max",
+            "centralized": summary["centralized_max"],
+            "basic": summary["basic_max"],
+            "balanced": summary["balanced_max"],
+        }
+    )
+    emit(
+        "fig8a_message_distribution",
+        format_table(
+            rows,
+            title="Fig 8(a) — messages per node by rank (n=512, one round)",
+        ),
+    )
+
+    # Root-load anchor: the centralized root receives n - 1 = 511 messages.
+    assert 511 in dist.centralized
+
+    # Orders: balanced << basic << centralized at the head of the ranking.
+    assert summary["balanced_max"] <= 8
+    assert summary["basic_max"] <= 40
+    assert summary["centralized_max"] >= 511
+    assert summary["balanced_max"] < summary["basic_max"] < summary["centralized_max"]
+
+    # DAT total message conservation: 2(n-1) across all nodes.
+    assert sum(dist.basic) == sum(dist.balanced) == 2 * 511

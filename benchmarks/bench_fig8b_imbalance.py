@@ -1,0 +1,48 @@
+"""Fig. 8(b): imbalance factor vs network size (100..1000).
+
+Paper claims: centralized imbalance grows almost linearly with n; basic
+DAT grows on a log scale (4.2 @100 -> 8.5 @1000); balanced DAT stays
+nearly constant (1.9 @100, 2.0 @1000).
+"""
+
+from repro.experiments.fig8_load_balance import run_fig8b_imbalance_sweep
+from repro.experiments.report import format_table
+
+SIZES = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+
+
+def test_fig8b_imbalance(benchmark, emit):
+    points = benchmark.pedantic(
+        run_fig8b_imbalance_sweep,
+        kwargs={"sizes": SIZES, "n_seeds": 3, "master_seed": 2007},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig8b_imbalance",
+        format_table(
+            [p.as_row() for p in points],
+            title="Fig 8(b) — imbalance factor (max/avg messages) vs n",
+        ),
+    )
+
+    first, last = points[0], points[-1]
+
+    # Centralized: ~linear growth — 10x nodes gives >4x imbalance, and the
+    # absolute level is O(n)-ish (root processes ~n messages vs avg ~2-4).
+    assert last.centralized / first.centralized > 4.0
+    assert last.centralized > 50
+
+    # Basic DAT: grows, but logarithmically — well under 2x over the decade
+    # against centralized's >4x, and small in absolute terms (paper: 4-9).
+    assert last.basic < 15
+    assert last.basic / first.basic < 2.5
+
+    # Balanced DAT: near-constant and small (paper: ~2).
+    balanced_values = [p.balanced for p in points]
+    assert max(balanced_values) <= 4.5
+    assert max(balanced_values) / min(balanced_values) < 1.8
+
+    # Ordering at every size: balanced < basic < centralized.
+    for point in points:
+        assert point.balanced < point.basic < point.centralized

@@ -1,0 +1,82 @@
+"""Fig. 9: accuracy of aggregated CPU usage over a 2-hour trace, 512 nodes.
+
+Paper claims: the DAT-aggregated total tracks the actual total (Fig. 9a),
+and actual-vs-aggregated points cluster tightly around the diagonal
+(Fig. 9b) — "a very accurate aggregation of the global CPU usages".
+"""
+
+import numpy as np
+
+from repro.experiments.fig9_accuracy import run_fig9_accuracy
+from repro.experiments.report import format_table
+
+
+def test_fig9_accuracy_continuous(benchmark, emit):
+    result = benchmark.pedantic(
+        run_fig9_accuracy,
+        kwargs={
+            "n_nodes": 512,
+            "mode": "continuous",
+            "identical_traces": False,
+            "push_period": 1.0,
+            "aggregate": "sum",
+            "seed": 2007,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    stride = max(len(result.times) // 24, 1)
+    rows = [
+        {
+            "t_seconds": result.times[i],
+            "actual_total": round(result.actual[i], 1),
+            "aggregated_total": round(result.aggregated[i], 1),
+            "rel_error_pct": round(
+                abs(result.aggregated[i] - result.actual[i]) / result.actual[i] * 100, 3
+            ),
+        }
+        for i in range(0, len(result.times), stride)
+    ]
+    rows.append(
+        {
+            "t_seconds": "summary",
+            "actual_total": "",
+            "aggregated_total": "",
+            "rel_error_pct": (
+                f"mean={result.mean_relative_error() * 100:.3f} "
+                f"max={result.max_relative_error() * 100:.3f}"
+            ),
+        }
+    )
+    emit(
+        "fig9_accuracy",
+        format_table(
+            rows,
+            title="Fig 9 — actual vs DAT-aggregated total CPU usage "
+            "(512 nodes, 2h trace, continuous mode)",
+        ),
+    )
+
+    # Fig 9(b): points hug the diagonal.
+    assert result.mean_relative_error() < 0.03
+    assert result.max_relative_error() < 0.10
+
+    # Fig 9(a): the aggregated series tracks the actual one.
+    actual = np.asarray(result.actual)
+    aggregated = np.asarray(result.aggregated)
+    assert np.mean(np.abs(aggregated - actual)) < 0.03 * np.mean(actual)
+
+    # Full 2-hour trace was evaluated.
+    assert len(result.times) == 720
+
+
+def test_fig9_synchronous_exactness(benchmark):
+    """Lock-step collection (one on-demand round per slot) is exact."""
+    result = benchmark.pedantic(
+        run_fig9_accuracy,
+        kwargs={"n_nodes": 512, "mode": "synchronous", "n_slots": 120, "seed": 2007},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.max_relative_error() < 1e-9

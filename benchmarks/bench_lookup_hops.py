@@ -1,0 +1,59 @@
+"""Chord lookup-cost validation (Sec. 3.1 basis for every other bound).
+
+The O(log n) finger-routing bound underlies DAT height, MAAN registration
+and query costs. Measured: mean and max hop counts over many random
+lookups at sizes 2^6..2^13, against the 2*log2(n) expectation band, plus
+the classical mean ~ (1/2)*log2(n).
+"""
+
+import numpy as np
+
+from repro.chord.idgen import ProbingIdAssigner
+from repro.chord.idspace import IdSpace
+from repro.chord.routing import finger_route
+from repro.experiments.report import format_table
+from repro.util.bits import ceil_log2
+
+SIZES = [64, 256, 1024, 4096, 8192]
+
+
+def measure_hops():
+    space = IdSpace(32)
+    rng = np.random.default_rng(2007)
+    rows = []
+    for n in SIZES:
+        ring = ProbingIdAssigner().build_ring(space, n, rng=2007)
+        tables = ring.all_finger_tables()
+        nodes = ring.nodes
+        hops = []
+        for _ in range(200):
+            source = nodes[int(rng.integers(0, n))]
+            key = int(rng.integers(0, space.size))
+            hops.append(finger_route(ring, source, key, tables=tables).hops)
+        rows.append(
+            {
+                "n": n,
+                "log2_n": ceil_log2(n),
+                "mean_hops": round(float(np.mean(hops)), 2),
+                "p99_hops": int(np.percentile(hops, 99)),
+                "max_hops": int(np.max(hops)),
+            }
+        )
+    return rows
+
+
+def test_lookup_hop_scaling(benchmark, emit):
+    rows = benchmark.pedantic(measure_hops, rounds=1, iterations=1)
+    emit(
+        "lookup_hops",
+        format_table(rows, title="Chord lookup cost vs network size "
+                                 "(200 random lookups each)"),
+    )
+    for row in rows:
+        # O(log n): max within 2x log2(n); mean near the classical
+        # half-log2(n) (within a generous band).
+        assert row["max_hops"] <= 2 * row["log2_n"], row
+        assert 0.3 * row["log2_n"] <= row["mean_hops"] <= 1.2 * row["log2_n"], row
+
+    # Growth is logarithmic: x128 nodes adds only a few mean hops.
+    assert rows[-1]["mean_hops"] - rows[0]["mean_hops"] <= 5.0

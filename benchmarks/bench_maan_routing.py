@@ -1,0 +1,62 @@
+"""MAAN routing-cost claims (paper Sec. 2.2).
+
+Validated bounds:
+* registration: O(m log n) hops for m attributes;
+* range query: O(log n + k) — the arc walk scales with selectivity;
+* multi-attribute query: O(log n + n*s_min) — cost follows the dominant
+  (minimum-selectivity) sub-query, not the broad ones.
+"""
+
+from repro.experiments.maan_routing import run_maan_routing
+from repro.experiments.report import format_table
+from repro.util.bits import ceil_log2
+
+N_NODES = 512
+SELECTIVITIES = [0.01, 0.05, 0.1, 0.2, 0.4]
+
+
+def test_maan_routing_costs(benchmark, emit):
+    result = benchmark.pedantic(
+        run_maan_routing,
+        kwargs={
+            "n_nodes": N_NODES,
+            "n_resources": 512,
+            "selectivities": SELECTIVITIES,
+            "queries_per_point": 20,
+            "seed": 2007,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        {
+            "selectivity": s,
+            "lookup_hops": round(result.range_costs[s][0], 2),
+            "arc_nodes": round(result.range_costs[s][1], 2),
+            "multi_attr_total_hops": round(result.multi_costs[s], 2),
+        }
+        for s in SELECTIVITIES
+    ]
+    header = (
+        f"MAAN routing costs (n={N_NODES}, log2(n)={ceil_log2(N_NODES)}; "
+        f"registration {result.registration_hops:.1f} hops/resource over "
+        f"{result.attributes_per_resource} attributes)"
+    )
+    emit("maan_routing", format_table(rows, title=header))
+
+    # Registration: O(m log n) — per-attribute cost within ~2x log2(n).
+    assert result.registration_hops_per_attribute() <= 2 * ceil_log2(N_NODES)
+
+    # Range query: lookup term is O(log n) regardless of selectivity...
+    for s in SELECTIVITIES:
+        assert result.range_costs[s][0] <= 2 * ceil_log2(N_NODES)
+    # ...while the arc term scales ~linearly with selectivity (k ~ n*s).
+    narrow = result.range_costs[0.05][1]
+    wide = result.range_costs[0.4][1]
+    assert 4.0 <= wide / max(narrow, 1.0) <= 16.0
+
+    # Multi-attribute: the broad (0.5-selectivity) companion sub-query does
+    # NOT dominate the cost; total hops track s_min.
+    assert result.multi_costs[0.01] < result.multi_costs[0.4]
+    assert result.multi_costs[0.4] < 0.5 * N_NODES  # far below a full lap

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""DAT trees under node arrival and departure (paper Secs. 1, 3.2).
+
+Runs a live Chord overlay on the discrete-event simulator, applies churn,
+and shows the paper's headline maintenance claim: the implicit DAT tree
+repairs itself through ordinary Chord stabilization, with *zero* dedicated
+tree-maintenance messages.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from repro.experiments.churn_overhead import run_churn_overhead
+
+
+def main() -> None:
+    print("running a live 32-node overlay through 12 churn events...")
+    result = run_churn_overhead(n_nodes=32, bits=16, n_churn_events=12, seed=11)
+
+    print(f"\nchurn phase: {result.n_events} membership changes over "
+          f"{result.duration:.1f} virtual seconds")
+    print(f"maintenance traffic: {result.total_messages} messages total "
+          f"({result.messages_per_node_second:.1f} per node-second)")
+
+    print("\nmessage kinds observed (all are Chord protocol traffic):")
+    for kind, count in sorted(result.by_kind.items(), key=lambda kv: -kv[1]):
+        print(f"  {kind:22s} {count:6d}")
+    print(f"\nDAT tree-maintenance messages: {result.dat_maintenance_messages()} "
+          "(the tree is implicit in finger state — nothing to repair)")
+
+    print(f"\ntree repair latency after each event (stabilization rounds until "
+          f"the live balanced DAT is valid again):")
+    print(f"  per event: {result.repair_rounds}")
+    print(f"  mean     : {result.mean_repair_rounds():.1f} rounds")
+
+
+if __name__ == "__main__":
+    main()

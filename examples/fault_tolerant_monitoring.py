@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fault-tolerant global monitoring with replica DAT trees.
+
+A single aggregation tree has single points of failure: the root, and any
+heavy interior node. This example (extending the paper with the
+multiple-tree idea of its related work, Li et al. [12]) aggregates over k
+independent trees — rendezvous keys salted per replica — and combines with
+a median, masking crashed nodes' damage.
+
+Run:  python examples/fault_tolerant_monitoring.py
+"""
+
+import numpy as np
+
+from repro.chord import IdSpace, make_assigner
+from repro.core import RedundantAggregator
+
+
+def main() -> None:
+    ring = make_assigner("probing").build_ring(IdSpace(32), 128, rng=5)
+    values = {node: float(i % 17 + 1) for i, node in enumerate(ring)}
+    truth = sum(values.values())
+    print(f"overlay: {len(ring)} nodes; true SUM = {truth:.0f}")
+
+    aggregator = RedundantAggregator(ring, "cpu-usage", k=3)
+    print(f"replica trees: {aggregator.k}, distinct roots: "
+          f"{aggregator.distinct_roots()}")
+
+    print("\nno failures:")
+    result = aggregator.aggregate(values, "sum")
+    print(f"  combined = {result.value:.0f} (replicas used: {result.replicas_used})")
+
+    # The win is in the tail: a single unlucky tree loses a huge subtree;
+    # the replica median rarely does. Run many independent 8%-crash trials.
+    rng = np.random.default_rng(5)
+    single = RedundantAggregator(ring, "cpu-usage", k=1)
+    errors: dict[str, list[float]] = {"single tree": [], "3 replicas": []}
+    last_failed: set[int] = set()
+    for _ in range(25):
+        failed = {node for node in ring if rng.random() < 0.08}
+        last_failed = failed
+        post_truth = sum(v for n, v in values.items() if n not in failed)
+        for agg, label in ((single, "single tree"), (aggregator, "3 replicas")):
+            try:
+                result = agg.aggregate(values, "sum", failed_nodes=failed)
+                errors[label].append(abs(result.value - post_truth) / post_truth)
+            except Exception:  # noqa: BLE001 - root crashed: total loss
+                errors[label].append(1.0)
+
+    print("\nrelative error over 25 independent 8%-crash trials:")
+    for label, series in errors.items():
+        arr = np.asarray(series)
+        print(f"  {label:12s}: mean {arr.mean() * 100:5.1f}%   "
+              f"p90 {np.percentile(arr, 90) * 100:5.1f}%   "
+              f"worst {arr.max() * 100:5.1f}%")
+
+    print("\nper-replica detail (last trial):")
+    result = aggregator.aggregate(values, "sum", failed_nodes=last_failed)
+    for outcome in result.outcomes:
+        status = f"{outcome.value:9.0f}" if outcome.ok else f"FAILED ({outcome.failure})"
+        print(f"  replica {outcome.replica} root {outcome.root:>12}: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Continuous Grid CPU monitoring — the paper's Sec. 5.4 scenario.
+
+Replays a synthetic 2-hour Sun-Fire-style CPU trace over a 512-node Grid
+and tracks the global total CPU usage through the balanced DAT, comparing
+the aggregated series against ground truth (the data behind Fig. 9a/9b).
+
+Run:  python examples/grid_monitoring.py [n_nodes] [n_slots]
+"""
+
+import sys
+
+from repro.experiments.fig9_accuracy import run_fig9_accuracy
+
+
+def spark(values, width: int = 64) -> str:
+    """Render a coarse ASCII sparkline of a series."""
+    blocks = " .:-=+*#%@"
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values)
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    n_slots = int(sys.argv[2]) if len(sys.argv) > 2 else 240
+
+    print(f"simulating {n_nodes}-node Grid, {n_slots} trace slots "
+          f"({n_slots * 10 / 60:.0f} minutes of monitoring)...")
+    result = run_fig9_accuracy(
+        n_nodes=n_nodes,
+        n_slots=n_slots,
+        mode="continuous",
+        identical_traces=False,
+        push_period=1.0,
+        aggregate="sum",
+    )
+
+    print("\ntotal CPU usage over time (sum across all nodes):")
+    print(f"  actual     |{spark(result.actual)}|")
+    print(f"  aggregated |{spark(result.aggregated)}|")
+
+    print("\naccuracy of the DAT-aggregated series vs ground truth:")
+    print(f"  mean relative error : {result.mean_relative_error() * 100:.3f}%")
+    print(f"  max relative error  : {result.max_relative_error() * 100:.3f}%")
+    print(f"  correlation         : {result.correlation():.4f}")
+
+    worst = max(
+        range(len(result.actual)),
+        key=lambda i: abs(result.aggregated[i] - result.actual[i]),
+    )
+    print(f"\nworst slot: t={result.times[worst]:.0f}s "
+          f"actual={result.actual[worst]:.1f} "
+          f"aggregated={result.aggregated[worst]:.1f}")
+    print("\n(the small error is continuous-mode staleness: a node at depth d "
+          "contributes a reading d push-periods old — paper Fig. 9b's "
+          "off-diagonal scatter)")
+
+
+if __name__ == "__main__":
+    main()

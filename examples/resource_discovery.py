@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Multi-attribute resource discovery with MAAN (paper Sec. 2.2).
+
+Registers a synthetic 256-machine Grid inventory into a MAAN overlay and
+resolves single- and multi-attribute range queries, printing the routing
+costs alongside the theoretical bounds (O(log n + k) and
+O(log n + n*s_min)).
+
+Run:  python examples/resource_discovery.py
+"""
+
+from repro.chord import IdSpace, make_assigner
+from repro.maan import MaanNetwork, MultiAttributeQuery, RangeQuery
+from repro.util.bits import ceil_log2
+from repro.workloads import GridResourceGenerator, default_schemas
+
+
+def main() -> None:
+    n_nodes, n_resources = 256, 256
+    space = IdSpace(32)
+    ring = make_assigner("probing").build_ring(space, n_nodes, rng=7)
+    network = MaanNetwork(ring, default_schemas())
+
+    resources = GridResourceGenerator(seed=7).fleet(n_resources)
+    total_hops = sum(network.register(r) for r in resources)
+    print(f"registered {n_resources} resources x {len(default_schemas())} attributes "
+          f"in {total_hops} hops "
+          f"({total_hops / n_resources:.1f}/resource; log2(n)={ceil_log2(n_nodes)})")
+
+    loads = network.storage_loads()
+    print(f"storage balance: {network.total_records()} records, "
+          f"max {max(loads.values())} on one node")
+
+    print("\nsingle-attribute range queries (cost = lookup + arc walk):")
+    for low, high in ((90.0, 100.0), (50.0, 100.0), (0.0, 100.0)):
+        query = RangeQuery("cpu-usage", low, high)
+        result = network.range_query(query)
+        print(f"  cpu-usage in [{low:5.1f}, {high:5.1f}] -> "
+              f"{len(result.resources):3d} matches, "
+              f"{result.lookup_hops} lookup hops + {result.nodes_visited} arc nodes")
+
+    print("\nmulti-attribute query (single-attribute-dominated resolution):")
+    query = MultiAttributeQuery.of(
+        RangeQuery("cpu-usage", 0.0, 25.0),      # selective -> dominates
+        RangeQuery("memory-size", 0.25, 64.0),   # broad -> filtered locally
+        RangeQuery("cpu-speed", 2.0, 5.0),
+    )
+    result = network.multi_attribute_query(query)
+    print(f"  idle (<25%) machines with >=2GHz CPUs: {len(result.resources)} found "
+          f"in {result.total_hops} hops")
+    for resource in result.resources[:5]:
+        attrs = resource.attributes
+        print(f"    {resource.resource_id}: {attrs['cpu-speed']:.1f}GHz "
+              f"{attrs['memory-size']:.1f}GB load={attrs['cpu-usage']:.0f}%")
+    print("  (cost followed the narrow cpu-usage arc, not the broad memory one)")
+
+
+if __name__ == "__main__":
+    main()

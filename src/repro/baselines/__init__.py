@@ -1,0 +1,13 @@
+"""Baseline aggregation schemes the paper compares DAT against (Sec. 5.3)."""
+
+from repro.baselines.centralized import (
+    centralized_direct_loads,
+    centralized_routed_loads,
+    CentralizedAggregator,
+)
+
+__all__ = [
+    "centralized_direct_loads",
+    "centralized_routed_loads",
+    "CentralizedAggregator",
+]

@@ -1,0 +1,105 @@
+"""The centralized aggregation baseline (paper Sec. 5.3, Fig. 8).
+
+"Each node in the network except the root node itself must send their local
+values to the root node directly. In addition, the closer a node precedes
+the root node in the Chord identifier space, the more aggregation messages
+it has to forward for other nodes due to the nature of the Chord finger
+routing algorithm."
+
+Two variants are provided:
+
+* **routed** — every node ships its raw value to the root over Chord finger
+  routing with *no in-network aggregation*; intermediate hops forward
+  (and are loaded by) other nodes' values. This is the variant the Fig. 8(a)
+  narrative describes.
+* **direct** — every node sends one IP-direct message to the root (one
+  logical hop). The root still melts under ``n - 1`` messages; forwarders
+  carry nothing.
+
+Loads use the library-wide accounting: messages sent + received per node.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from repro.chord.fingers import FingerTable
+from repro.chord.ring import StaticRing
+from repro.chord.routing import finger_route
+from repro.core.aggregates import Aggregate
+
+__all__ = [
+    "centralized_direct_loads",
+    "centralized_routed_loads",
+    "CentralizedAggregator",
+]
+
+
+def centralized_direct_loads(ring: StaticRing, key: int) -> dict[int, int]:
+    """Per-node message loads when every node sends directly to the root."""
+    root = ring.successor(key)
+    loads: dict[int, int] = {}
+    for node in ring:
+        loads[node] = 1 if node != root else 0  # one send each
+    loads[root] += len(ring) - 1  # root receives everything
+    return loads
+
+
+def centralized_routed_loads(
+    ring: StaticRing,
+    key: int,
+    tables: dict[int, FingerTable] | None = None,
+) -> dict[int, int]:
+    """Per-node message loads when every value is finger-routed to the root.
+
+    Each node originates one message; every hop on its route counts one
+    send at the forwarder and one receive at the next node. No aggregation
+    happens en route — the root receives ``n - 1`` distinct value messages.
+    """
+    if tables is None:
+        tables = ring.all_finger_tables()
+    root = ring.successor(key)
+    sent: dict[int, int] = defaultdict(int)
+    received: dict[int, int] = defaultdict(int)
+    for node in ring:
+        if node == root:
+            continue
+        # Values are addressed to the root *node* (its identifier), matching
+        # the DAT parent rule's orientation — a route targeting the raw key
+        # would funnel every message through the key's predecessor instead
+        # of spreading over the root's inbound fingers.
+        route = finger_route(ring, node, root, tables=tables)
+        hops = route.path
+        for src, dst in zip(hops, hops[1:]):
+            sent[src] += 1
+            received[dst] += 1
+    return {node: sent[node] + received[node] for node in ring}
+
+
+class CentralizedAggregator:
+    """Convenience wrapper computing a global aggregate the centralized way.
+
+    Functionally the result equals the DAT's (same aggregate function over
+    the same values); only the message economics differ — which is the
+    entire point of Fig. 8.
+    """
+
+    def __init__(self, ring: StaticRing, key: int, routed: bool = True) -> None:
+        self.ring = ring
+        self.key = key
+        self.routed = routed
+        self.root = ring.successor(key)
+
+    def aggregate(self, values: Mapping[int, float], aggregate: Aggregate):
+        """Compute the global aggregate over per-node ``values``."""
+        missing = [node for node in self.ring if node not in values]
+        if missing:
+            raise ValueError(f"missing values for {len(missing)} nodes: {missing[:5]}")
+        return aggregate.aggregate(values[node] for node in self.ring)
+
+    def message_loads(self) -> dict[int, int]:
+        """Per-node loads for one aggregation round under this variant."""
+        if self.routed:
+            return centralized_routed_loads(self.ring, self.key)
+        return centralized_direct_loads(self.ring, self.key)

@@ -1,0 +1,179 @@
+"""Vectorized finger-table and DAT-parent construction (NumPy fast path).
+
+The scalar builders in :mod:`repro.chord.ring` / :mod:`repro.core.builder`
+are the reference implementation; this module recomputes the same results
+with array operations for large rings (8192-node builds drop from ~0.5 s
+to tens of milliseconds). Equivalence against the scalar path is asserted
+test-for-test in ``tests/unit/test_fastbuild.py`` — if the two ever
+disagree, the scalar path wins.
+
+Restrictions: identifier width ``bits <= 48`` so that the exact integer
+``ceil(log2(.))`` trick below stays within float64's 2^53 exact-integer
+range. Wider spaces silently fall back to the scalar builders via
+:func:`build_dat_fast`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chord.ring import StaticRing
+from repro.core.builder import build_dat
+from repro.core.builder import DatScheme
+from repro.core.tree import DatTree
+from repro.errors import TreeError
+
+__all__ = [
+    "FAST_PATH_MAX_BITS",
+    "fast_finger_matrix",
+    "fast_basic_parents",
+    "fast_balanced_parents",
+    "build_dat_fast",
+]
+
+#: Widest identifier space the vectorized path supports exactly.
+FAST_PATH_MAX_BITS = 48
+
+
+def _require_fast_capable(ring: StaticRing) -> None:
+    if ring.space.bits > FAST_PATH_MAX_BITS:
+        raise TreeError(
+            f"fast path supports bits <= {FAST_PATH_MAX_BITS}, "
+            f"got {ring.space.bits}; use the scalar builders"
+        )
+    if len(ring) == 0:
+        raise TreeError("fast path requires a non-empty ring")
+
+
+def fast_finger_matrix(ring: StaticRing) -> np.ndarray:
+    """All finger tables as an ``(n, bits)`` int64 matrix.
+
+    Row ``i``, column ``j`` is ``successor(nodes[i] + 2^j)`` — identical to
+    :meth:`StaticRing.finger_entries` for every node, computed with two
+    searchsorted passes instead of ``n * bits`` bisects.
+    """
+    _require_fast_capable(ring)
+    space = ring.space
+    nodes = np.asarray(ring.nodes, dtype=np.int64)
+    offsets = (np.int64(1) << np.arange(space.bits, dtype=np.int64))[np.newaxis, :]
+    targets = (nodes[:, np.newaxis] + offsets) & np.int64(space.max_id)
+    indices = np.searchsorted(nodes, targets, side="left")
+    indices[indices == len(nodes)] = 0  # wrap past the top of the ring
+    return nodes[indices]
+
+
+def _cw(space_mask: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized clockwise distance ``(b - a) mod 2^bits``."""
+    return (b - a) & np.int64(space_mask)
+
+
+def _vectorized_ceil_log2(values: np.ndarray) -> np.ndarray:
+    """Exact ``ceil(log2(v))`` for positive int64 values < 2^53.
+
+    ``frexp`` decomposes ``v = m * 2^e`` with ``m`` in [0.5, 1); the
+    decomposition is exact for integers below 2^53, so
+    ``ceil(log2(v)) = e - 1`` when ``v`` is a power of two (m == 0.5) and
+    ``e`` otherwise — no floating-point rounding anywhere.
+    """
+    mantissa, exponent = np.frexp(values.astype(np.float64))
+    result = exponent.astype(np.int64)
+    result[mantissa == 0.5] -= 1
+    return np.maximum(result, 0)
+
+
+def fast_basic_parents(ring: StaticRing, key: int) -> dict[int, int]:
+    """Basic-DAT parent map, vectorized; equals the scalar builder's."""
+    _require_fast_capable(ring)
+    space = ring.space
+    mask = space.max_id
+    nodes = np.asarray(ring.nodes, dtype=np.int64)
+    root = np.int64(ring.successor(key))
+    fingers = fast_finger_matrix(ring)
+
+    finger_dist = _cw(mask, nodes[:, np.newaxis], fingers)
+    target_dist = _cw(mask, nodes, np.broadcast_to(root, nodes.shape))
+
+    eligible = (finger_dist <= target_dist[:, np.newaxis]) & (finger_dist > 0)
+    # Highest eligible slot per node (finger distance is monotone in j, so
+    # the highest slot is the farthest non-overshooting finger).
+    slot_index = np.where(eligible, np.arange(space.bits, dtype=np.int64), -1)
+    best = slot_index.max(axis=1)
+
+    parents: dict[int, int] = {}
+    for i, node in enumerate(ring.nodes):
+        if node == root:
+            continue
+        j = best[i]
+        if j < 0:
+            raise TreeError(f"node {node} has no eligible finger toward {int(root)}")
+        parents[node] = int(fingers[i, j])
+    return parents
+
+
+def fast_balanced_parents(
+    ring: StaticRing, key: int
+) -> dict[int, int]:
+    """Balanced-DAT parent map (Algorithm 1), vectorized.
+
+    Uses the exact mean gap ``d0 = 2^bits / n`` like the scalar default.
+    The limit ``g(x) = ceil(log2((x + 2*d0)/3))`` is evaluated with pure
+    integer arithmetic: ``q = ceil((x*n + 2*2^bits) / (3n))`` then an exact
+    ``ceil(log2(q))``, matching
+    :func:`repro.core.limiting.finger_limit` bit-for-bit.
+    """
+    _require_fast_capable(ring)
+    space = ring.space
+    mask = space.max_id
+    n = len(ring)
+    nodes = np.asarray(ring.nodes, dtype=np.int64)
+    root = np.int64(ring.successor(key))
+    fingers = fast_finger_matrix(ring)
+
+    finger_dist = _cw(mask, nodes[:, np.newaxis], fingers)
+    x = _cw(mask, nodes, np.broadcast_to(root, nodes.shape))
+
+    # q = ceil((x*n + 2*size) / (3*n)), exactly, using Python ints to dodge
+    # the x*n overflow for wide spaces, then back to an array.
+    size = space.size
+    q = np.array(
+        [-(-(int(xi) * n + 2 * size) // (3 * n)) for xi in x], dtype=np.int64
+    )
+    q = np.maximum(q, 1)
+    limits = _vectorized_ceil_log2(q)
+
+    slots = np.arange(space.bits, dtype=np.int64)[np.newaxis, :]
+    eligible = (
+        (finger_dist <= x[:, np.newaxis])
+        & (finger_dist > 0)
+        & (slots <= limits[:, np.newaxis])
+    )
+    slot_index = np.where(eligible, slots, -1)
+    best = slot_index.max(axis=1)
+
+    parents: dict[int, int] = {}
+    for i, node in enumerate(ring.nodes):
+        if node == root:
+            continue
+        j = best[i]
+        if j < 0:
+            raise TreeError(f"node {node} has no eligible finger toward {int(root)}")
+        parents[node] = int(fingers[i, j])
+    return parents
+
+
+def build_dat_fast(
+    ring: StaticRing, key: int, scheme: DatScheme | str = DatScheme.BALANCED
+) -> DatTree:
+    """Drop-in vectorized replacement for :func:`repro.core.builder.build_dat`.
+
+    Falls back to the scalar builders for spaces wider than
+    ``FAST_PATH_MAX_BITS`` bits or single-node rings.
+    """
+    scheme = DatScheme(scheme)
+    if ring.space.bits > FAST_PATH_MAX_BITS or len(ring) <= 1:
+        return build_dat(ring, key, scheme=scheme)
+    if scheme is DatScheme.BASIC:
+        parents = fast_basic_parents(ring, key)
+    else:
+        parents = fast_balanced_parents(ring, key)
+    return DatTree(root=ring.successor(key), parent=parents, key=key)

@@ -1,0 +1,173 @@
+"""Fingers-of-fingers (FoF) — the prototype's Chord extension (paper Sec. 4).
+
+"Each node keeps not only the information of its direct fingers, but also
+the information of its fingers of fingers (FOF)." The FoF cache gives a
+node a two-hop routing horizon: when forwarding a lookup it can consider
+its fingers' fingers as candidate next-next hops and jump straight to the
+best one, roughly halving hop counts. It is also the information base the
+prototype's DAT layer uses to compute child sets locally (our
+``children_resolver`` injection is the converged equivalent — DESIGN.md).
+
+:class:`FofCache` holds the learned tables; :class:`FofMaintainer` drives
+the periodic refresh over a transport and exposes the improved next-hop
+choice. The cache is advisory: a stale entry can at worst cause one wasted
+hop (the contacted node forwards normally), never incorrectness, because
+candidates are still required not to overshoot the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chord.fingers import FingerTable
+from repro.chord.idspace import IdSpace
+from repro.sim.messages import Message
+
+__all__ = ["FofCache", "FofMaintainer"]
+
+
+@dataclass
+class FofCache:
+    """Learned finger tables of this node's fingers."""
+
+    space: IdSpace
+    #: finger ident -> that finger's entries (as last reported).
+    tables: dict[int, list[int]] = field(default_factory=dict)
+
+    def update(self, finger: int, entries: list[int]) -> None:
+        """Record a finger's reported table."""
+        self.tables[finger] = list(entries)
+
+    def forget(self, finger: int) -> None:
+        """Drop a departed finger's table."""
+        self.tables.pop(finger, None)
+
+    def known_nodes(self) -> set[int]:
+        """Every node reachable within two hops via the cache."""
+        nodes: set[int] = set(self.tables)
+        for entries in self.tables.values():
+            nodes.update(entries)
+        return nodes
+
+    def best_toward(self, owner: int, key: int) -> int | None:
+        """The cached node most closely preceding-or-reaching ``key``.
+
+        Considers both the cached fingers themselves and their entries
+        (two-hop candidates). Returns ``None`` when nothing qualifies.
+        """
+        target = self.space.cw(owner, key)
+        if target == 0:
+            return None
+        best: int | None = None
+        best_distance = -1
+        for node in self.known_nodes():
+            if node == owner:
+                continue
+            distance = self.space.cw(owner, node)
+            if distance <= target and distance > best_distance:
+                best = node
+                best_distance = distance
+        return best
+
+
+class FofMaintainer:
+    """Periodic FoF refresh for one protocol node.
+
+    Parameters
+    ----------
+    host:
+        Object with ``ident``, ``space``, ``transport``, ``upcalls`` and a
+        ``finger_table()`` method (a :class:`ChordProtocolNode`).
+    interval:
+        Seconds between refreshes of one finger's table (round-robin).
+    """
+
+    def __init__(self, host, interval: float = 1.0) -> None:
+        self.host = host
+        self.interval = interval
+        self.cache = FofCache(space=host.space)
+        self._cursor = 0
+        self._running = False
+        self._cancel: Callable[[], None] | None = None
+        host.upcalls["get_fingers"] = self._on_get_fingers
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Begin periodic refresh."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        """Stop refreshing (cache retained)."""
+        self._running = False
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def _schedule(self) -> None:
+        if not self._running:
+            return
+        self._cancel = self.host.transport.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.refresh_next()
+        self._schedule()
+
+    def refresh_next(self) -> None:
+        """Request the table of the next distinct finger (round-robin)."""
+        table: FingerTable = self.host.finger_table()
+        fingers = table.distinct_fingers()
+        if not fingers:
+            return
+        self._cursor = (self._cursor + 1) % len(fingers)
+        target = fingers[self._cursor]
+        request = Message(
+            kind="get_fingers", source=self.host.ident, destination=target, payload={}
+        )
+
+        def on_reply(reply: Message) -> None:
+            self.cache.update(target, reply.payload["entries"])
+
+        def on_timeout(_msg: Message) -> None:
+            self.cache.forget(target)
+
+        self.host.transport.call(request, on_reply, on_timeout=on_timeout)
+
+    def refresh_all(self) -> None:
+        """Kick a refresh of every distinct finger (test convergence aid)."""
+        table: FingerTable = self.host.finger_table()
+        for _ in table.distinct_fingers():
+            self.refresh_next()
+
+    def _on_get_fingers(self, message: Message) -> Message:
+        table: FingerTable = self.host.finger_table()
+        return message.response(entries=list(table.entries))
+
+    # ------------------------------------------------------------------ #
+    # Routing improvement
+    # ------------------------------------------------------------------ #
+
+    def next_hop(self, key: int) -> int | None:
+        """Best next hop toward ``key`` using fingers + FoF.
+
+        At least as close as the plain finger choice; never overshoots.
+        """
+        table: FingerTable = self.host.finger_table()
+        plain = table.closest_preceding(key)
+        improved = self.cache.best_toward(self.host.ident, key)
+        if improved is None:
+            return plain
+        if plain is None:
+            return improved
+        space = self.host.space
+        if space.cw(self.host.ident, improved) > space.cw(self.host.ident, plain):
+            return improved
+        return plain

@@ -1,0 +1,186 @@
+"""Static (converged) Chord ring model.
+
+:class:`StaticRing` is a snapshot of a stabilized Chord overlay: a sorted set
+of node identifiers plus exact successor/predecessor/finger queries answered
+with binary search. The large-scale experiments (tree properties up to 8192
+nodes, Fig. 7/8) run against this model, exactly as the paper's analysis
+assumes a converged overlay. The dynamic protocol in
+:mod:`repro.chord.node` converges to the same structure — an invariant the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.chord.fingers import FingerTable
+from repro.chord.idspace import IdSpace
+from repro.errors import DuplicateNodeError, EmptyRingError, UnknownNodeError
+
+__all__ = ["StaticRing"]
+
+
+class StaticRing:
+    """A converged Chord ring over a set of node identifiers.
+
+    Parameters
+    ----------
+    space:
+        The identifier space.
+    nodes:
+        Initial node identifiers (need not be sorted; duplicates rejected).
+    """
+
+    def __init__(self, space: IdSpace, nodes: Iterable[int] = ()) -> None:
+        self.space = space
+        self._nodes: list[int] = []
+        seen: set[int] = set()
+        for ident in nodes:
+            space.validate(ident)
+            if ident in seen:
+                raise DuplicateNodeError(f"duplicate node identifier {ident}")
+            seen.add(ident)
+        self._nodes = sorted(seen)
+        self._node_set = seen
+
+    # ------------------------------------------------------------------ #
+    # Collection protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._nodes)
+
+    def __contains__(self, ident: int) -> bool:
+        return ident in self._node_set
+
+    @property
+    def nodes(self) -> list[int]:
+        """Sorted node identifiers (copy-safe view; do not mutate)."""
+        return self._nodes
+
+    def node_array(self) -> np.ndarray:
+        """Sorted node identifiers as a NumPy array (uint64 when it fits)."""
+        if self.space.bits <= 63:
+            return np.asarray(self._nodes, dtype=np.uint64)
+        return np.asarray(self._nodes, dtype=object)
+
+    # ------------------------------------------------------------------ #
+    # Membership changes
+    # ------------------------------------------------------------------ #
+
+    def add(self, ident: int) -> None:
+        """Insert a node (O(n) list insert; rings are built once, queried often)."""
+        self.space.validate(ident)
+        if ident in self._node_set:
+            raise DuplicateNodeError(f"duplicate node identifier {ident}")
+        insort(self._nodes, ident)
+        self._node_set.add(ident)
+
+    def remove(self, ident: int) -> None:
+        """Remove a node."""
+        if ident not in self._node_set:
+            raise UnknownNodeError(ident)
+        index = bisect_left(self._nodes, ident)
+        del self._nodes[index]
+        self._node_set.remove(ident)
+
+    # ------------------------------------------------------------------ #
+    # Consistent-hashing queries
+    # ------------------------------------------------------------------ #
+
+    def _require_nodes(self) -> None:
+        if not self._nodes:
+            raise EmptyRingError("operation requires a non-empty ring")
+
+    def successor(self, key: int) -> int:
+        """First node whose identifier equals or follows ``key`` clockwise."""
+        self._require_nodes()
+        self.space.validate(key)
+        index = bisect_left(self._nodes, key)
+        if index == len(self._nodes):
+            return self._nodes[0]
+        return self._nodes[index]
+
+    def predecessor(self, key: int) -> int:
+        """Last node whose identifier strictly precedes ``key`` clockwise."""
+        self._require_nodes()
+        self.space.validate(key)
+        index = bisect_left(self._nodes, key)
+        if index == 0:
+            return self._nodes[-1]
+        return self._nodes[index - 1]
+
+    def successor_of_node(self, ident: int) -> int:
+        """The node immediately following node ``ident`` on the ring."""
+        if ident not in self._node_set:
+            raise UnknownNodeError(ident)
+        index = bisect_right(self._nodes, ident)
+        return self._nodes[index % len(self._nodes)]
+
+    def predecessor_of_node(self, ident: int) -> int:
+        """The node immediately preceding node ``ident`` on the ring."""
+        if ident not in self._node_set:
+            raise UnknownNodeError(ident)
+        index = bisect_left(self._nodes, ident)
+        return self._nodes[index - 1]  # index-1 == -1 wraps correctly
+
+    def gap_before(self, ident: int) -> int:
+        """Clockwise distance from ``ident``'s predecessor to ``ident``.
+
+        This is the slice of the identifier space owned by ``ident`` under
+        consistent hashing; identifier probing (Sec. 3.5) splits the largest
+        such gap.
+        """
+        if len(self._nodes) == 1:
+            return self.space.size
+        return self.space.cw(self.predecessor_of_node(ident), ident)
+
+    def gaps(self) -> dict[int, int]:
+        """Owned-interval length for every node."""
+        return {ident: self.gap_before(ident) for ident in self._nodes}
+
+    def mean_gap(self) -> float:
+        """Average inter-node distance ``d0 = 2^b / n``."""
+        self._require_nodes()
+        return self.space.mean_gap(len(self._nodes))
+
+    def gap_ratio(self) -> float:
+        """Ratio of the largest to the smallest inter-node gap.
+
+        Random identifiers give a ratio of ``O(log n)``; identifier probing
+        bounds it by a constant (Adler et al., referenced in Sec. 3.5).
+        """
+        gaps = list(self.gaps().values())
+        return max(gaps) / min(gaps)
+
+    # ------------------------------------------------------------------ #
+    # Finger tables
+    # ------------------------------------------------------------------ #
+
+    def finger_entries(self, ident: int) -> list[int]:
+        """Finger entries of node ``ident``: slot ``j`` -> successor(ident + 2^j)."""
+        if ident not in self._node_set:
+            raise UnknownNodeError(ident)
+        return [
+            self.successor(self.space.finger_start(ident, j))
+            for j in range(self.space.bits)
+        ]
+
+    def finger_table(self, ident: int) -> FingerTable:
+        """Build the full converged finger table of node ``ident``."""
+        return FingerTable(
+            space=self.space, owner=ident, entries=self.finger_entries(ident)
+        )
+
+    def all_finger_tables(self) -> dict[int, FingerTable]:
+        """Finger tables of every node (O(n·b·log n) — fine up to 8192·32)."""
+        return {ident: self.finger_table(ident) for ident in self._nodes}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StaticRing(bits={self.space.bits}, n={len(self._nodes)})"

@@ -1,0 +1,353 @@
+"""Mergeable aggregate functions ``f: X+ -> X`` (paper Sec. 2.3).
+
+DAT aggregation applies ``f`` recursively up the tree, so every supported
+aggregate must be expressible as a *mergeable partial state*: leaves lift
+their local value into a state, interior nodes merge children states with
+their own, and the root finalizes. Merging must be associative and
+commutative — the tree shape and child arrival order must not change the
+result — which the property-based tests assert for every registered
+aggregate.
+
+Built-ins: SUM, COUNT, MIN, MAX, AVG, STD (Chan et al. parallel variance),
+HISTOGRAM (fixed bins), TOP-K. Custom aggregates register via
+:func:`register_aggregate`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import AggregationError, UnknownAggregateError
+
+__all__ = [
+    "Aggregate",
+    "SumAggregate",
+    "CountAggregate",
+    "MinAggregate",
+    "MaxAggregate",
+    "AverageAggregate",
+    "StdAggregate",
+    "HistogramAggregate",
+    "QuantileAggregate",
+    "TopKAggregate",
+    "register_aggregate",
+    "get_aggregate",
+    "available_aggregates",
+]
+
+
+class Aggregate(ABC):
+    """One aggregate function as a mergeable-state triple.
+
+    Subclasses define how a raw reading becomes a partial state
+    (:meth:`lift`), how two partial states combine (:meth:`merge`), and how
+    a state becomes the user-visible result (:meth:`finalize`).
+    """
+
+    #: Registry name ("sum", "avg", ...). Subclasses must override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def lift(self, value: float) -> Any:
+        """Wrap one local reading into a partial state."""
+
+    @abstractmethod
+    def merge(self, left: Any, right: Any) -> Any:
+        """Combine two partial states (associative, commutative)."""
+
+    @abstractmethod
+    def finalize(self, state: Any) -> Any:
+        """Extract the final aggregate value from a state."""
+
+    def merge_all(self, states: Iterable[Any]) -> Any:
+        """Fold :meth:`merge` over a non-empty iterable of states."""
+        iterator = iter(states)
+        try:
+            acc = next(iterator)
+        except StopIteration:
+            raise AggregationError(f"{self.name}: cannot merge zero states") from None
+        for state in iterator:
+            acc = self.merge(acc, state)
+        return acc
+
+    def aggregate(self, values: Iterable[float]) -> Any:
+        """Convenience: lift + merge + finalize a flat value collection."""
+        return self.finalize(self.merge_all(self.lift(v) for v in values))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class SumAggregate(Aggregate):
+    """Global sum."""
+
+    name = "sum"
+
+    def lift(self, value: float) -> float:
+        return float(value)
+
+    def merge(self, left: float, right: float) -> float:
+        return left + right
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+class CountAggregate(Aggregate):
+    """Number of contributing nodes (each local reading counts once)."""
+
+    name = "count"
+
+    def lift(self, value: float) -> int:
+        return 1
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+    def finalize(self, state: int) -> int:
+        return state
+
+
+class MinAggregate(Aggregate):
+    """Global minimum."""
+
+    name = "min"
+
+    def lift(self, value: float) -> float:
+        return float(value)
+
+    def merge(self, left: float, right: float) -> float:
+        return min(left, right)
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+class MaxAggregate(Aggregate):
+    """Global maximum."""
+
+    name = "max"
+
+    def lift(self, value: float) -> float:
+        return float(value)
+
+    def merge(self, left: float, right: float) -> float:
+        return max(left, right)
+
+    def finalize(self, state: float) -> float:
+        return state
+
+
+@dataclass(frozen=True)
+class _MomentState:
+    """(count, mean, M2) running-moment state (Chan et al. 1979)."""
+
+    count: int
+    mean: float
+    m2: float
+
+
+class AverageAggregate(Aggregate):
+    """Global arithmetic mean, carried as (sum, count)."""
+
+    name = "avg"
+
+    def lift(self, value: float) -> tuple[float, int]:
+        return (float(value), 1)
+
+    def merge(self, left: tuple[float, int], right: tuple[float, int]) -> tuple[float, int]:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state: tuple[float, int]) -> float:
+        total, count = state
+        return total / count
+
+
+class StdAggregate(Aggregate):
+    """Global population standard deviation via parallel moment merging.
+
+    Uses the numerically stable pairwise update of Chan, Golub & LeVeque —
+    the textbook mergeable form, exact under merge reordering up to
+    floating-point noise.
+    """
+
+    name = "std"
+
+    def lift(self, value: float) -> _MomentState:
+        return _MomentState(count=1, mean=float(value), m2=0.0)
+
+    def merge(self, left: _MomentState, right: _MomentState) -> _MomentState:
+        count = left.count + right.count
+        delta = right.mean - left.mean
+        mean = left.mean + delta * right.count / count
+        m2 = left.m2 + right.m2 + delta * delta * left.count * right.count / count
+        return _MomentState(count=count, mean=mean, m2=m2)
+
+    def finalize(self, state: _MomentState) -> float:
+        return math.sqrt(state.m2 / state.count)
+
+
+class HistogramAggregate(Aggregate):
+    """Fixed-bin histogram over a known value domain.
+
+    Values outside ``[low, high)`` clamp into the boundary bins — live
+    sensors drift slightly past nominal bounds and a dropped reading would
+    silently bias COUNT-consistency checks.
+    """
+
+    name = "histogram"
+
+    def __init__(self, low: float, high: float, n_bins: int = 10) -> None:
+        if not high > low:
+            raise ValueError(f"histogram domain requires high > low, got [{low}, {high}]")
+        if n_bins <= 0:
+            raise ValueError(f"n_bins must be positive, got {n_bins}")
+        self.low = float(low)
+        self.high = float(high)
+        self.n_bins = int(n_bins)
+
+    def bin_index(self, value: float) -> int:
+        """Bin index of one value (clamped into range)."""
+        if value < self.low:
+            return 0
+        if value >= self.high:
+            return self.n_bins - 1
+        fraction = (value - self.low) / (self.high - self.low)
+        return min(int(fraction * self.n_bins), self.n_bins - 1)
+
+    def lift(self, value: float) -> tuple[int, ...]:
+        counts = [0] * self.n_bins
+        counts[self.bin_index(float(value))] = 1
+        return tuple(counts)
+
+    def merge(self, left: tuple[int, ...], right: tuple[int, ...]) -> tuple[int, ...]:
+        if len(left) != len(right):
+            raise AggregationError(
+                f"histogram states of unequal width: {len(left)} vs {len(right)}"
+            )
+        return tuple(a + b for a, b in zip(left, right))
+
+    def finalize(self, state: tuple[int, ...]) -> tuple[int, ...]:
+        return state
+
+    def bin_edges(self) -> list[float]:
+        """The ``n_bins + 1`` bin boundary values."""
+        width = (self.high - self.low) / self.n_bins
+        return [self.low + i * width for i in range(self.n_bins + 1)]
+
+
+class QuantileAggregate(Aggregate):
+    """Approximate quantile over a known value domain, via a fixed grid.
+
+    The state is a histogram over ``n_bins`` equal-width bins; the quantile
+    is read from the cumulative counts with linear interpolation inside the
+    containing bin. Error is bounded by one bin width — for monitoring
+    dashboards ("the 95th-percentile CPU usage across the Grid") that is
+    exactly the fidelity/space trade-off wanted, and unlike exact
+    quantiles the state is mergeable, so it flows up a DAT.
+    """
+
+    name = "quantile"
+
+    def __init__(self, q: float = 0.5, low: float = 0.0, high: float = 100.0,
+                 n_bins: int = 100) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not high > low:
+            raise ValueError(f"quantile domain requires high > low, got [{low}, {high}]")
+        if n_bins <= 0:
+            raise ValueError(f"n_bins must be positive, got {n_bins}")
+        self.q = float(q)
+        self.low = float(low)
+        self.high = float(high)
+        self.n_bins = int(n_bins)
+        self._hist = HistogramAggregate(low=low, high=high, n_bins=n_bins)
+
+    def lift(self, value: float) -> tuple[int, ...]:
+        return self._hist.lift(value)
+
+    def merge(self, left: tuple[int, ...], right: tuple[int, ...]) -> tuple[int, ...]:
+        return self._hist.merge(left, right)
+
+    def finalize(self, state: tuple[int, ...]) -> float:
+        total = sum(state)
+        if total == 0:
+            raise AggregationError("quantile of an empty population")
+        target = self.q * total
+        width = (self.high - self.low) / self.n_bins
+        cumulative = 0
+        for index, count in enumerate(state):
+            if cumulative + count >= target and count > 0:
+                inside = (target - cumulative) / count
+                return self.low + (index + min(max(inside, 0.0), 1.0)) * width
+            cumulative += count
+        return self.high
+
+
+class TopKAggregate(Aggregate):
+    """The K largest readings network-wide (e.g. most-loaded machines)."""
+
+    name = "topk"
+
+    def __init__(self, k: int = 10) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+
+    def lift(self, value: float) -> tuple[float, ...]:
+        return (float(value),)
+
+    def merge(self, left: tuple[float, ...], right: tuple[float, ...]) -> tuple[float, ...]:
+        return tuple(heapq.nlargest(self.k, left + right))
+
+    def finalize(self, state: tuple[float, ...]) -> tuple[float, ...]:
+        return tuple(sorted(state, reverse=True))
+
+
+_REGISTRY: dict[str, type[Aggregate]] = {}
+
+
+def register_aggregate(cls: type[Aggregate]) -> type[Aggregate]:
+    """Register an aggregate class under its ``name`` (usable as decorator)."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a concrete 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (
+    SumAggregate,
+    CountAggregate,
+    MinAggregate,
+    MaxAggregate,
+    AverageAggregate,
+    StdAggregate,
+    HistogramAggregate,
+    QuantileAggregate,
+    TopKAggregate,
+):
+    register_aggregate(_cls)
+
+
+def get_aggregate(name: str, **kwargs) -> Aggregate:
+    """Instantiate a registered aggregate by name.
+
+    >>> get_aggregate("sum").aggregate([1, 2, 3])
+    6.0
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise UnknownAggregateError(
+            f"unknown aggregate {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_aggregates() -> list[str]:
+    """Sorted names of all registered aggregates."""
+    return sorted(_REGISTRY)

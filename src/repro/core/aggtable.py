@@ -1,0 +1,155 @@
+"""Per-node aggregation table (paper Sec. 4, Fig. 6).
+
+Each DAT node keeps track of the aggregations it participates in: one entry
+per active rendezvous key, holding the aggregate function, the mode
+(on-demand or continuous), and the partial states received from children in
+the current round. The table is deliberately transport-agnostic — the
+protocol service (:mod:`repro.core.service`) drives it from either the
+simulator or the UDP RPC layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.core.aggregates import Aggregate
+from repro.errors import AggregationError
+
+__all__ = ["AggregationMode", "AggregationEntry", "AggregationTable"]
+
+
+class AggregationMode(str, Enum):
+    """The two aggregate modes the prototype implements (Sec. 4)."""
+
+    ON_DEMAND = "on_demand"
+    CONTINUOUS = "continuous"
+
+
+@dataclass
+class AggregationEntry:
+    """State of one active aggregation at one node.
+
+    Parameters
+    ----------
+    key:
+        Rendezvous key identifying the DAT tree.
+    aggregate:
+        The mergeable aggregate function.
+    mode:
+        On-demand (single collection round) or continuous (epoch-based).
+    expected_children:
+        Children this node waits for before pushing upward. ``None`` means
+        unknown (on-demand collection counts explicit responses instead).
+    """
+
+    key: int
+    aggregate: Aggregate
+    mode: AggregationMode
+    expected_children: frozenset[int] | None = None
+    epoch: int = 0
+    received: dict[int, Any] = field(default_factory=dict)
+    local_state: Any = None
+
+    def reset_round(self, epoch: int | None = None) -> None:
+        """Begin a new collection round, clearing child contributions."""
+        self.received.clear()
+        self.local_state = None
+        if epoch is not None:
+            self.epoch = epoch
+        else:
+            self.epoch += 1
+
+    def set_local(self, value: float) -> None:
+        """Record this node's own reading for the current round."""
+        self.local_state = self.aggregate.lift(value)
+
+    def add_child_state(self, child: int, state: Any, epoch: int | None = None) -> None:
+        """Record a child's partial state.
+
+        A duplicate contribution from the same child in one round replaces
+        the previous one (retransmissions must not double-count). A stale
+        epoch raises — the service layer should have filtered it.
+        """
+        if epoch is not None and epoch != self.epoch:
+            raise AggregationError(
+                f"child {child} contributed to epoch {epoch}, current is {self.epoch}"
+            )
+        self.received[child] = state
+
+    def is_complete(self) -> bool:
+        """True when every expected child has contributed (and local is set)."""
+        if self.local_state is None:
+            return False
+        if self.expected_children is None:
+            return True
+        return set(self.received) >= set(self.expected_children)
+
+    def partial_state(self) -> Any:
+        """Merge local + children states into the value to push to the parent."""
+        states = list(self.received.values())
+        if self.local_state is not None:
+            states.append(self.local_state)
+        if not states:
+            raise AggregationError(
+                f"aggregation {self.key} has no contributions to merge"
+            )
+        return self.aggregate.merge_all(states)
+
+    def finalize(self) -> Any:
+        """Finalize the merged state (root-only operation)."""
+        return self.aggregate.finalize(self.partial_state())
+
+
+class AggregationTable:
+    """All active aggregations at one node, keyed by rendezvous key.
+
+    Multiple DAT trees coexist on one overlay (one per monitored attribute);
+    the table multiplexes them, mirroring Fig. 6 of the paper.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, AggregationEntry] = {}
+
+    def open(
+        self,
+        key: int,
+        aggregate: Aggregate,
+        mode: AggregationMode = AggregationMode.ON_DEMAND,
+        expected_children: frozenset[int] | None = None,
+    ) -> AggregationEntry:
+        """Create (or replace) the entry for ``key`` and return it."""
+        entry = AggregationEntry(
+            key=key,
+            aggregate=aggregate,
+            mode=AggregationMode(mode),
+            expected_children=expected_children,
+        )
+        self._entries[key] = entry
+        return entry
+
+    def get(self, key: int) -> AggregationEntry:
+        """Entry for ``key``; raises :class:`AggregationError` if absent."""
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise AggregationError(f"no active aggregation for key {key}") from None
+
+    def has(self, key: int) -> bool:
+        """True if ``key`` has an active entry."""
+        return key in self._entries
+
+    def close(self, key: int) -> None:
+        """Remove the entry for ``key`` (idempotent)."""
+        self._entries.pop(key, None)
+
+    def active_keys(self) -> list[int]:
+        """Rendezvous keys with active entries."""
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries

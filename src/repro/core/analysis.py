@@ -1,0 +1,188 @@
+"""Closed-form DAT properties and load-balance metrics (paper Sec. 3.3/3.5).
+
+The theory assumes ``n`` nodes evenly distributed in the identifier space.
+For the basic DAT rooted at ``r`` the branching factor of node ``i`` at
+clockwise distance ``d = cw(i, r)`` is::
+
+    B(i, n) = log2(n) - ceil(log2(d / d0 + 1))        (d0 = 2^b / n)
+
+so the root (``d = 0``) has ``log2 n`` children and nodes past the antipode
+have none. The balanced DAT has branching factor <= 2 and height
+<= ``log2 n``. These predictions are validated against measured trees in
+``tests/unit/test_core_analysis.py`` and ``benchmarks/bench_theory_validation.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.core.tree import DatTree
+from repro.util.bits import ceil_log2, is_power_of_two
+
+__all__ = [
+    "theoretical_basic_branching",
+    "theoretical_basic_depth",
+    "theoretical_basic_internal_count",
+    "theoretical_basic_avg_branching",
+    "theoretical_max_branching_basic",
+    "theoretical_balanced_max_branching",
+    "theoretical_balanced_height_bound",
+    "imbalance_factor",
+    "load_distribution",
+    "compare_measured_to_theory",
+    "compare_depths_to_theory",
+]
+
+
+def theoretical_basic_branching(distance: int, n_nodes: int, bits: int) -> int:
+    """Predicted branching factor ``B(i, n)`` of the basic DAT (Sec. 3.3).
+
+    Parameters
+    ----------
+    distance:
+        Clockwise distance ``d = cw(i, root)`` in raw identifier units.
+    n_nodes:
+        Network size ``n`` (a power of two for the theorem to be exact).
+    bits:
+        Identifier width ``b``.
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    if not is_power_of_two(n_nodes):
+        raise ValueError(
+            f"the closed form assumes a power-of-two network size, got {n_nodes}"
+        )
+    log_n = ceil_log2(n_nodes)
+    d0 = Fraction(1 << bits, n_nodes)
+    scaled = Fraction(distance) / d0 + 1
+    # ceil(log2(scaled)) with exact rational arithmetic.
+    integer_ceiling = -((-scaled.numerator) // scaled.denominator)
+    penalty = ceil_log2(max(integer_ceiling, 1))
+    return max(log_n - penalty, 0)
+
+
+def theoretical_basic_depth(distance: int, n_nodes: int, bits: int) -> int:
+    """Exact depth of a node in the basic DAT on an evenly spaced ring.
+
+    Greedy finger routing covers the clockwise distance ``d`` to the root
+    in jumps that are exact powers of two (in units of the node gap
+    ``d0``), taking the largest remaining power each hop — so the hop
+    count, and hence the node's tree depth, is the **population count** of
+    ``d / d0``. (Check against the paper's Fig. 2: node N1 has d = 15 =
+    0b1111, popcount 4 — the route <N1, N9, N13, N15, N0>.)
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    if not is_power_of_two(n_nodes):
+        raise ValueError(
+            f"the closed form assumes a power-of-two network size, got {n_nodes}"
+        )
+    d0 = (1 << bits) // n_nodes
+    if distance % d0 != 0:
+        raise ValueError(
+            f"distance {distance} is not a multiple of the node gap {d0}"
+        )
+    return (distance // d0).bit_count()
+
+
+def theoretical_basic_internal_count(n_nodes: int) -> int:
+    """Internal (non-leaf) nodes of the basic DAT on an even ring: n/2.
+
+    ``B(i, n) = 0`` exactly when ``d >= n*d0/2`` (the far half of the
+    ring), so half the nodes are leaves.
+    """
+    if n_nodes <= 0 or not is_power_of_two(n_nodes):
+        raise ValueError(f"requires a positive power-of-two size, got {n_nodes}")
+    return max(n_nodes // 2, 1)
+
+
+def theoretical_basic_avg_branching(n_nodes: int) -> float:
+    """Average branching over internal nodes: ``(n-1) / (n/2)`` → 2.
+
+    Matches the measured ~1.875 at n=16 and the paper's "constant ~2"
+    claim asymptotically.
+    """
+    return (n_nodes - 1) / theoretical_basic_internal_count(n_nodes)
+
+
+def theoretical_max_branching_basic(n_nodes: int) -> int:
+    """Max branching of the basic DAT: the root's ``log2 n`` (Sec. 3.3)."""
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    return ceil_log2(max(n_nodes, 1))
+
+
+def theoretical_balanced_max_branching() -> int:
+    """Max branching of the balanced DAT under even spacing: 2 (Sec. 3.5)."""
+    return 2
+
+
+def theoretical_balanced_height_bound(n_nodes: int) -> int:
+    """Height bound of the balanced DAT: ``ceil(log2 n)`` (Sec. 3.5)."""
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    return ceil_log2(max(n_nodes, 1))
+
+
+def imbalance_factor(loads: Iterable[float] | Mapping[int, float]) -> float:
+    """Max/average load ratio (paper Sec. 5.3).
+
+    A perfectly balanced aggregation has an imbalance factor of 1; the
+    centralized baseline grows linearly with ``n``, the basic DAT
+    logarithmically, the balanced DAT stays near constant.
+    """
+    values = list(loads.values()) if isinstance(loads, Mapping) else list(loads)
+    if not values:
+        raise ValueError("imbalance factor of an empty load set is undefined")
+    average = sum(values) / len(values)
+    if average == 0:
+        raise ValueError("imbalance factor undefined for an all-zero load set")
+    return max(values) / average
+
+
+def load_distribution(loads: Mapping[int, float]) -> list[tuple[int, float]]:
+    """Loads sorted descending — the 'node rank' ordering of Fig. 8(a).
+
+    Returns ``(node, load)`` pairs; index in the list is the node's rank.
+    """
+    return sorted(loads.items(), key=lambda item: (-item[1], item[0]))
+
+
+def compare_measured_to_theory(tree: DatTree, bits: int) -> dict[int, tuple[int, int]]:
+    """Per-node (measured, predicted) basic-DAT branching factors.
+
+    Only meaningful for a basic DAT over an exactly evenly spaced ring with
+    a power-of-two node count; the unit tests use it to validate the
+    ``B(i, n)`` closed form node by node.
+    """
+    n = tree.n_nodes
+    size = 1 << bits
+    factors = tree.branching_factors()
+    out: dict[int, tuple[int, int]] = {}
+    for node, measured in factors.items():
+        distance = (tree.root - node) % size
+        predicted = theoretical_basic_branching(distance, n, bits)
+        out[node] = (measured, predicted)
+    return out
+
+
+def compare_depths_to_theory(tree: DatTree, bits: int) -> dict[int, tuple[int, int]]:
+    """Per-node (measured, predicted) basic-DAT depths (popcount theorem).
+
+    Valid under the same conditions as :func:`compare_measured_to_theory`:
+    an exactly evenly spaced, power-of-two basic DAT.
+    """
+    n = tree.n_nodes
+    size = 1 << bits
+    depths = tree.depths()
+    out: dict[int, tuple[int, int]] = {}
+    for node, measured in depths.items():
+        distance = (tree.root - node) % size
+        predicted = theoretical_basic_depth(distance, n, bits)
+        out[node] = (measured, predicted)
+    return out

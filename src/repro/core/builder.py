@@ -1,0 +1,157 @@
+"""DAT tree construction from a converged ring (paper Algorithm 1 + Sec. 3.2).
+
+The builders compute, for every node, its parent under the chosen scheme and
+return an explicit :class:`~repro.core.tree.DatTree` snapshot. Distributed
+nodes never materialize this structure — each knows only its own parent
+(and, via inbound fingers, its children) — but the snapshot is exactly what
+the evaluation measures.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from fractions import Fraction
+
+from repro.chord.fingers import FingerTable
+from repro.chord.ring import StaticRing
+from repro.core.limiting import FingerLimiter
+from repro.core.parent import select_parent_balanced, select_parent_basic
+from repro.core.tree import DatTree
+
+__all__ = [
+    "DatScheme",
+    "build_basic_dat",
+    "build_balanced_dat",
+    "build_dat",
+    "DatTreeBuilder",
+]
+
+
+class DatScheme(str, Enum):
+    """Tree-construction scheme selector."""
+
+    BASIC = "basic"
+    BALANCED = "balanced"
+
+
+def _resolve_tables(
+    ring: StaticRing, tables: dict[int, FingerTable] | None
+) -> dict[int, FingerTable]:
+    return ring.all_finger_tables() if tables is None else tables
+
+
+def build_basic_dat(
+    ring: StaticRing,
+    key: int,
+    tables: dict[int, FingerTable] | None = None,
+) -> DatTree:
+    """Basic DAT: each node's parent is its greedy next hop toward the root.
+
+    Parameters
+    ----------
+    ring:
+        Converged ring snapshot.
+    key:
+        Rendezvous key; the root is ``successor(key)``.
+    tables:
+        Optional pre-built finger tables shared across several builds.
+    """
+    tables = _resolve_tables(ring, tables)
+    root = ring.successor(key)
+    parent: dict[int, int] = {}
+    for node in ring:
+        chosen = select_parent_basic(tables[node], root)
+        if chosen is not None:
+            parent[node] = chosen
+    return DatTree(root=root, parent=parent, key=key)
+
+
+def build_balanced_dat(
+    ring: StaticRing,
+    key: int,
+    tables: dict[int, FingerTable] | None = None,
+    d0: float | Fraction | None = None,
+) -> DatTree:
+    """Balanced DAT (Algorithm 1): parent limited to fingers within 2^g(x).
+
+    Parameters
+    ----------
+    ring, key, tables:
+        As in :func:`build_basic_dat`.
+    d0:
+        Mean inter-node gap used by the limiting function. Defaults to the
+        exact ``2^b / n`` of the ring; pass an estimate to model the
+        distributed setting where nodes only know an approximation.
+    """
+    tables = _resolve_tables(ring, tables)
+    root = ring.successor(key)
+    if d0 is None:
+        limiter = FingerLimiter.for_ring(ring.space.bits, len(ring))
+    else:
+        limiter = FingerLimiter.for_gap(d0)
+    parent: dict[int, int] = {}
+    for node in ring:
+        chosen = select_parent_balanced(tables[node], root, limiter)
+        if chosen is not None:
+            parent[node] = chosen
+    return DatTree(root=root, parent=parent, key=key)
+
+
+def build_dat(
+    ring: StaticRing,
+    key: int,
+    scheme: DatScheme | str = DatScheme.BALANCED,
+    tables: dict[int, FingerTable] | None = None,
+    d0: float | Fraction | None = None,
+    fast: bool = False,
+) -> DatTree:
+    """Build a DAT under the given scheme (string or :class:`DatScheme`).
+
+    ``fast=True`` routes through the vectorized NumPy builder
+    (:mod:`repro.chord.fastbuild`) — identical output, much faster on large
+    rings; only valid with the default ``d0`` and no pre-built ``tables``.
+    """
+    scheme = DatScheme(scheme)
+    if fast and tables is None and d0 is None:
+        # Imported lazily: fastbuild depends on this module's tree types.
+        from repro.chord.fastbuild import build_dat_fast
+
+        return build_dat_fast(ring, key, scheme=scheme)
+    if scheme is DatScheme.BASIC:
+        return build_basic_dat(ring, key, tables=tables)
+    return build_balanced_dat(ring, key, tables=tables, d0=d0)
+
+
+class DatTreeBuilder:
+    """Reusable builder caching finger tables across many rendezvous keys.
+
+    Building multiple DATs on one overlay (one per monitored attribute —
+    the paper's 'multiple aggregation trees' scenario) shares the ring's
+    finger tables; only the per-node parent scan differs per key.
+    """
+
+    def __init__(self, ring: StaticRing, scheme: DatScheme | str = DatScheme.BALANCED):
+        self.ring = ring
+        self.scheme = DatScheme(scheme)
+        self._tables: dict[int, FingerTable] | None = None
+
+    @property
+    def tables(self) -> dict[int, FingerTable]:
+        """Finger tables of the ring (built lazily, cached)."""
+        if self._tables is None:
+            self._tables = self.ring.all_finger_tables()
+        return self._tables
+
+    def build(self, key: int, d0: float | Fraction | None = None) -> DatTree:
+        """Build the DAT for one rendezvous key."""
+        return build_dat(
+            self.ring, key, scheme=self.scheme, tables=self.tables, d0=d0
+        )
+
+    def build_many(self, keys: list[int]) -> dict[int, DatTree]:
+        """Build one DAT per rendezvous key (multi-tree scenario)."""
+        return {key: self.build(key) for key in keys}
+
+    def invalidate(self) -> None:
+        """Drop cached tables after ring membership changes."""
+        self._tables = None

@@ -1,0 +1,104 @@
+"""The finger limiting function ``g(x)`` of balanced routing (paper Sec. 3.4).
+
+A node ``i`` at clockwise distance ``x`` from the root may only use fingers
+at most ``2^{g(x)}`` away, where::
+
+    g(x) = ceil(log2((x + 2*d0) / 3))
+
+and ``d0`` is the mean inter-node gap (``2^b / n``). The derivation solves
+for the limit that makes exactly the j-th and (j+1)-th inbound fingers of
+every node choose it as parent, yielding branching factor <= 2 on evenly
+distributed identifiers.
+
+All arithmetic here is exact (integer/rational): for ``b = 160`` spaces the
+quantities overflow doubles, and an off-by-one in ``ceil(log2(.))`` flips a
+parent choice and breaks the balance proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.util.bits import ceil_log2
+
+__all__ = ["ceil_log2_fraction", "finger_limit", "FingerLimiter"]
+
+
+def ceil_log2_fraction(value: Fraction) -> int:
+    """Exact ``ceil(log2(value))`` for a positive rational, floored at 0.
+
+    For ``value <= 1`` this returns 0, which in the limiter means "only the
+    immediate-successor finger is eligible" — the correct degenerate case
+    for nodes adjacent to the root.
+    """
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    # For value > 1: ceil(log2(r)) == ceil_log2(ceil(r)) because powers of
+    # two are integers; for value <= 1 the integer ceiling is 1 -> 0.
+    integer_ceiling = -((-value.numerator) // value.denominator)
+    return ceil_log2(max(integer_ceiling, 1))
+
+
+def finger_limit(x: int, d0: float | Fraction) -> int:
+    """``g(x) = ceil(log2((x + 2*d0)/3))``, clamped to ``>= 0``.
+
+    Parameters
+    ----------
+    x:
+        Clockwise distance from the node to the root, ``x >= 0``. (``x = 0``
+        is the root itself, which has no parent; callers never need the
+        value but it is defined for completeness.)
+    d0:
+        Mean inter-node gap. Accepts an exact :class:`~fractions.Fraction`
+        (preferred, e.g. ``Fraction(2**b, n)``) or a float, which is
+        converted exactly.
+
+    Returns
+    -------
+    int
+        Maximum eligible finger slot index ``j`` (0-indexed, finger ``j``
+        covers offset ``2^j``): eligible slots are ``j <= g(x)``.
+    """
+    if x < 0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    gap = d0 if isinstance(d0, Fraction) else Fraction(d0).limit_denominator(10**12)
+    if gap <= 0:
+        raise ValueError(f"d0 must be positive, got {d0}")
+    return ceil_log2_fraction((x + 2 * gap) / 3)
+
+
+@dataclass(frozen=True)
+class FingerLimiter:
+    """Callable ``g(x)`` with a fixed mean gap, precomputed exactly.
+
+    The constructor accepts the ring parameters directly so experiment code
+    does not repeat the ``d0 = 2^b / n`` convention::
+
+        limiter = FingerLimiter.for_ring(bits=32, n_nodes=512)
+        limiter(x)   # max eligible finger slot for distance x
+    """
+
+    d0: Fraction
+
+    @classmethod
+    def for_ring(cls, bits: int, n_nodes: int) -> "FingerLimiter":
+        """Limiter with the exact mean gap ``2^bits / n_nodes``."""
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        return cls(d0=Fraction(1 << bits, n_nodes))
+
+    @classmethod
+    def for_gap(cls, d0: float | Fraction) -> "FingerLimiter":
+        """Limiter with an explicit (possibly estimated) mean gap."""
+        gap = d0 if isinstance(d0, Fraction) else Fraction(d0).limit_denominator(10**12)
+        if gap <= 0:
+            raise ValueError(f"d0 must be positive, got {d0}")
+        return cls(d0=gap)
+
+    def __call__(self, x: int) -> int:
+        return finger_limit(x, self.d0)
+
+    def max_finger_offset(self, x: int) -> int:
+        """Largest finger offset ``2^{g(x)}`` eligible at distance ``x``."""
+        return 1 << self(x)

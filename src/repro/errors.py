@@ -1,0 +1,73 @@
+"""Exception hierarchy for the DAT reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` raised by argument
+validation) propagate naturally where that is more idiomatic.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class IdentifierError(ReproError, ValueError):
+    """An identifier is outside the configured identifier space."""
+
+
+class RingError(ReproError):
+    """The Chord ring is in an invalid state for the requested operation."""
+
+
+class EmptyRingError(RingError):
+    """An operation requires at least one node but the ring is empty."""
+
+
+class DuplicateNodeError(RingError):
+    """A node identifier is already present in the ring."""
+
+
+class UnknownNodeError(RingError, KeyError):
+    """A node identifier is not present in the ring."""
+
+
+class RoutingError(ReproError):
+    """Finger routing failed to make progress toward the target key."""
+
+
+class TreeError(ReproError):
+    """A DAT tree violates a structural invariant."""
+
+
+class AggregationError(ReproError):
+    """An aggregation could not be computed or merged."""
+
+
+class UnknownAggregateError(AggregationError, KeyError):
+    """The requested aggregate function name is not registered."""
+
+
+class TransportError(ReproError):
+    """A message could not be delivered by the transport layer."""
+
+
+class RpcTimeoutError(TransportError, TimeoutError):
+    """An RPC did not receive a response within its deadline."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine hit an inconsistent state."""
+
+
+class QueryError(ReproError):
+    """A MAAN query is malformed or cannot be resolved."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A resource description does not match its attribute schema."""
+
+
+class MonitoringError(ReproError):
+    """The P-GMA monitoring stack hit an operational error."""

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.experiments <figure> [...]``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

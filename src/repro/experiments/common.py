@@ -1,0 +1,79 @@
+"""Shared plumbing for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.util.rng import spawn_seeds
+
+__all__ = ["SweepPoint", "seeded_sweep", "mean", "geometric_sizes"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x, y) sample of a parameter sweep with its spread."""
+
+    x: float
+    y: float
+    y_min: float
+    y_max: float
+    n_seeds: int
+
+    def as_row(self) -> dict[str, float]:
+        """Plain-dict row for tabular output."""
+        return {
+            "x": self.x,
+            "y": self.y,
+            "y_min": self.y_min,
+            "y_max": self.y_max,
+            "n_seeds": self.n_seeds,
+        }
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def seeded_sweep(
+    xs: Sequence[float],
+    measure: Callable[[float, int], float],
+    n_seeds: int = 3,
+    master_seed: int = 0,
+) -> list[SweepPoint]:
+    """Evaluate ``measure(x, seed)`` over ``xs`` with ``n_seeds`` repetitions.
+
+    Returns one aggregated point per x with mean and min/max band — the
+    format every figure sweep uses.
+    """
+    points: list[SweepPoint] = []
+    seeds = spawn_seeds(master_seed, n_seeds)
+    for x in xs:
+        samples = [measure(x, seed) for seed in seeds]
+        points.append(
+            SweepPoint(
+                x=x,
+                y=mean(samples),
+                y_min=min(samples),
+                y_max=max(samples),
+                n_seeds=n_seeds,
+            )
+        )
+    return points
+
+
+def geometric_sizes(low: int, high: int, factor: int = 2) -> list[int]:
+    """Sizes ``low, low*factor, ...`` up to and including ``high``."""
+    if low <= 0 or high < low or factor < 2:
+        raise ValueError(f"invalid geometric range ({low}, {high}, {factor})")
+    sizes = []
+    size = low
+    while size <= high:
+        sizes.append(size)
+        size *= factor
+    return sizes

@@ -1,0 +1,133 @@
+"""Fig. 8 — load balance of aggregation messages (paper Sec. 5.3).
+
+(a) Per-node aggregation-message distribution by node rank at n = 512 for
+    three schemes: centralized (Chord-routed, no in-network aggregation),
+    basic DAT, balanced DAT. Paper anchors: centralized root ~511 messages;
+    basic max ~24; balanced max ~4.
+
+(b) Imbalance factor (max / average messages) vs network size in
+    [100, 1000]: centralized grows ~linearly, basic ~log
+    (paper: 4.2 @100 -> 8.5 @1000), balanced ~constant (1.9 - 2.0).
+
+Loads count messages sent + received per node in one aggregation round
+(DESIGN.md Sec. 5 records why this reproduces the paper's numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.centralized import centralized_routed_loads
+from repro.chord.idgen import make_assigner
+from repro.chord.idspace import IdSpace
+from repro.core.analysis import imbalance_factor, load_distribution
+from repro.core.builder import build_balanced_dat, build_basic_dat
+from repro.util.rng import spawn_seeds
+
+__all__ = [
+    "Fig8Distribution",
+    "Fig8ImbalancePoint",
+    "run_fig8a_message_distribution",
+    "run_fig8b_imbalance_sweep",
+]
+
+
+@dataclass
+class Fig8Distribution:
+    """Rank-ordered per-node loads for the three schemes at one size."""
+
+    n_nodes: int
+    centralized: list[int] = field(default_factory=list)
+    basic: list[int] = field(default_factory=list)
+    balanced: list[int] = field(default_factory=list)
+
+    def summary(self) -> dict[str, float]:
+        """Max/imbalance summary for quick assertions and tables."""
+        return {
+            "n": self.n_nodes,
+            "centralized_max": max(self.centralized),
+            "basic_max": max(self.basic),
+            "balanced_max": max(self.balanced),
+            "centralized_imbalance": imbalance_factor(self.centralized),
+            "basic_imbalance": imbalance_factor(self.basic),
+            "balanced_imbalance": imbalance_factor(self.balanced),
+        }
+
+
+@dataclass(frozen=True)
+class Fig8ImbalancePoint:
+    """Seed-averaged imbalance factors at one network size."""
+
+    n_nodes: int
+    centralized: float
+    basic: float
+    balanced: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "n": self.n_nodes,
+            "centralized": self.centralized,
+            "basic": self.basic,
+            "balanced": self.balanced,
+        }
+
+
+def _scheme_loads(
+    n_nodes: int, bits: int, seed: int, id_strategy: str, key: int
+) -> tuple[dict[int, int], dict[int, int], dict[int, int]]:
+    """(centralized, basic, balanced) per-node loads on one ring."""
+    space = IdSpace(bits)
+    ring = make_assigner(id_strategy).build_ring(space, n_nodes, rng=seed)
+    tables = ring.all_finger_tables()
+    centralized = centralized_routed_loads(ring, key % space.size, tables=tables)
+    basic = build_basic_dat(ring, key % space.size, tables=tables).message_loads()
+    balanced = build_balanced_dat(ring, key % space.size, tables=tables).message_loads()
+    return centralized, basic, balanced
+
+
+def run_fig8a_message_distribution(
+    n_nodes: int = 512,
+    bits: int = 32,
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    key: int = 0xA5A5A5,
+) -> Fig8Distribution:
+    """Regenerate the Fig. 8(a) rank-ordered distributions."""
+    centralized, basic, balanced = _scheme_loads(n_nodes, bits, seed, id_strategy, key)
+    return Fig8Distribution(
+        n_nodes=n_nodes,
+        centralized=[load for _node, load in load_distribution(centralized)],
+        basic=[load for _node, load in load_distribution(basic)],
+        balanced=[load for _node, load in load_distribution(balanced)],
+    )
+
+
+def run_fig8b_imbalance_sweep(
+    sizes: list[int] | None = None,
+    bits: int = 32,
+    n_seeds: int = 3,
+    master_seed: int = 2007,
+    id_strategy: str = "probing",
+    key: int = 0xA5A5A5,
+) -> list[Fig8ImbalancePoint]:
+    """Regenerate the Fig. 8(b) imbalance-vs-size sweep."""
+    sizes = sizes if sizes is not None else [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+    seeds = spawn_seeds(master_seed, n_seeds)
+    points: list[Fig8ImbalancePoint] = []
+    for n_nodes in sizes:
+        samples = [
+            tuple(
+                imbalance_factor(loads)
+                for loads in _scheme_loads(n_nodes, bits, seed, id_strategy, key)
+            )
+            for seed in seeds
+        ]
+        points.append(
+            Fig8ImbalancePoint(
+                n_nodes=n_nodes,
+                centralized=sum(s[0] for s in samples) / n_seeds,
+                basic=sum(s[1] for s in samples) / n_seeds,
+                balanced=sum(s[2] for s in samples) / n_seeds,
+            )
+        )
+    return points

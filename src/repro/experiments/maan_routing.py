@@ -1,0 +1,93 @@
+"""MAAN routing-cost validation (paper Sec. 2.2 complexity claims).
+
+Measured quantities:
+
+* registration hops per resource vs network size — claim ``O(m log n)``;
+* single-attribute range-query hops vs selectivity — claim
+  ``O(log n + k)`` with ``k`` proportional to the queried arc;
+* multi-attribute query hops — claim ``O(log n + n * s_min)``: the cost
+  follows the *minimum* sub-query selectivity, not the product or sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chord.idgen import make_assigner
+from repro.chord.idspace import IdSpace
+from repro.maan.network import MaanNetwork
+from repro.workloads.grids import GridResourceGenerator, default_schemas
+from repro.workloads.queries import QueryWorkload
+
+__all__ = ["MaanRoutingResult", "run_maan_routing"]
+
+
+@dataclass
+class MaanRoutingResult:
+    """Measured MAAN routing costs for one configuration."""
+
+    n_nodes: int
+    n_resources: int
+    #: mean hops to register one resource (all attributes).
+    registration_hops: float = 0.0
+    #: attributes indexed per resource (the m of O(m log n)).
+    attributes_per_resource: int = 0
+    #: selectivity -> mean (lookup_hops, nodes_visited) per range query.
+    range_costs: dict[float, tuple[float, float]] = field(default_factory=dict)
+    #: s_min -> mean total hops for multi-attribute queries.
+    multi_costs: dict[float, float] = field(default_factory=dict)
+
+    def registration_hops_per_attribute(self) -> float:
+        """Hops per attribute — should track log2(n)."""
+        return self.registration_hops / self.attributes_per_resource
+
+
+def run_maan_routing(
+    n_nodes: int = 256,
+    n_resources: int = 256,
+    bits: int = 32,
+    selectivities: list[float] | None = None,
+    queries_per_point: int = 20,
+    seed: int = 2007,
+) -> MaanRoutingResult:
+    """Measure registration and query costs on one MAAN deployment."""
+    selectivities = selectivities if selectivities is not None else [0.01, 0.05, 0.1, 0.2, 0.4]
+    space = IdSpace(bits)
+    ring = make_assigner("probing").build_ring(space, n_nodes, rng=seed)
+    schemas = default_schemas()
+    network = MaanNetwork(ring, schemas)
+
+    generator = GridResourceGenerator(seed=seed)
+    resources = generator.fleet(n_resources)
+    total_hops = sum(network.register(resource) for resource in resources)
+
+    result = MaanRoutingResult(
+        n_nodes=n_nodes,
+        n_resources=n_resources,
+        registration_hops=total_hops / n_resources,
+        attributes_per_resource=len(schemas),
+    )
+
+    workload = QueryWorkload(schemas, seed=seed + 1)
+    for selectivity in selectivities:
+        lookups: list[int] = []
+        visits: list[int] = []
+        for query in workload.batch("cpu-usage", selectivity, queries_per_point):
+            outcome = network.range_query(query)
+            lookups.append(outcome.lookup_hops)
+            visits.append(outcome.nodes_visited)
+        result.range_costs[selectivity] = (
+            sum(lookups) / len(lookups),
+            sum(visits) / len(visits),
+        )
+
+    # Multi-attribute: one broad sub-query (0.5) and one narrow (s_min);
+    # cost should follow s_min only.
+    for s_min in selectivities:
+        totals: list[int] = []
+        for _ in range(queries_per_point):
+            query = workload.multi_query({"cpu-usage": s_min, "memory-size": 0.5})
+            outcome = network.multi_attribute_query(query)
+            totals.append(outcome.total_hops)
+        result.multi_costs[s_min] = sum(totals) / len(totals)
+    return result

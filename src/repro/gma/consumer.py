@@ -1,0 +1,69 @@
+"""Consumer layer of P-GMA (paper Sec. 2.1).
+
+"Applications in the consumer layer can directly search resources or
+monitor their status by issuing multi-attribute range queries to any nodes
+in the P2P indexing network. To monitor the global resource status, P-GMA
+builds an aggregation layer on top of the indexing layer." A
+:class:`Consumer` is the application-facing handle bound to one overlay
+node, delegating searches to MAAN and global aggregates to the DAT layer
+through the :class:`~repro.gma.monitor.GridMonitor` facade.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.maan.query import MultiAttributeQuery, QueryResult, RangeQuery
+
+if TYPE_CHECKING:  # circular at runtime: monitor builds consumers
+    from repro.gma.monitor import GridMonitor
+
+__all__ = ["Consumer"]
+
+
+class Consumer:
+    """An application's monitoring endpoint at one overlay node."""
+
+    def __init__(self, monitor: "GridMonitor", node: int) -> None:
+        self.monitor = monitor
+        self.node = node
+
+    # ------------------------------------------------------------------ #
+    # Discovery
+    # ------------------------------------------------------------------ #
+
+    def search(self, attribute: str, low: float, high: float) -> QueryResult:
+        """Single-attribute range search issued from this node."""
+        query = RangeQuery(attribute=attribute, low=low, high=high)
+        return self.monitor.index.range_query(query, origin=self.node)
+
+    def search_all(self, **ranges: tuple[float, float]) -> QueryResult:
+        """Multi-attribute conjunctive search.
+
+        Usage: ``consumer.search_all(cpu_usage=(0, 50), memory_size=(2, 64))``
+        — attribute names use ``_`` for ``-``.
+        """
+        sub_queries = [
+            RangeQuery(attribute=name.replace("_", "-"), low=low, high=high)
+            for name, (low, high) in ranges.items()
+        ]
+        return self.monitor.index.multi_attribute_query(
+            MultiAttributeQuery.of(*sub_queries), origin=self.node
+        )
+
+    # ------------------------------------------------------------------ #
+    # Global monitoring
+    # ------------------------------------------------------------------ #
+
+    def global_aggregate(self, attribute: str, aggregate: str = "avg", t: float = 0.0) -> Any:
+        """The global aggregate of ``attribute`` at time ``t`` via the DAT."""
+        return self.monitor.aggregate(attribute, aggregate=aggregate, t=t).value
+
+    def monitor_series(
+        self, attribute: str, aggregate: str, times: list[float]
+    ) -> list[Any]:
+        """Aggregate ``attribute`` at each time — a monitoring time series."""
+        return [
+            self.monitor.aggregate(attribute, aggregate=aggregate, t=t).value
+            for t in times
+        ]

@@ -1,0 +1,33 @@
+"""Monitoring events flowing from sensors through producers (GMA model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MonitoringEvent"]
+
+
+@dataclass(frozen=True)
+class MonitoringEvent:
+    """One status observation.
+
+    Parameters
+    ----------
+    timestamp:
+        Observation time (trace slot time or transport clock).
+    resource_id:
+        The resource the reading describes.
+    attribute:
+        Attribute name, e.g. ``"cpu-usage"``.
+    value:
+        The reading.
+    """
+
+    timestamp: float
+    resource_id: str
+    attribute: str
+    value: float
+
+    def key(self) -> tuple[str, str]:
+        """(resource, attribute) identity for latest-value tables."""
+        return (self.resource_id, self.attribute)

@@ -1,0 +1,198 @@
+"""The GridMonitor facade — a full P-GMA deployment in one object.
+
+Wires together an overlay (identifier assignment + converged ring), the
+MAAN index, per-node producers, and DAT aggregation; exposes the consumer
+API. This is the object the examples and the accuracy experiment (Fig. 9)
+drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.chord.hashing import sha1_id
+from repro.chord.idgen import make_assigner
+from repro.chord.idspace import IdSpace
+from repro.chord.ring import StaticRing
+from repro.core.aggregates import get_aggregate
+from repro.core.builder import DatScheme, DatTreeBuilder
+from repro.core.tree import DatTree
+from repro.errors import MonitoringError
+from repro.gma.consumer import Consumer
+from repro.gma.producer import Producer
+from repro.maan.attrs import AttributeSchema
+from repro.maan.network import MaanNetwork
+
+__all__ = ["MonitorConfig", "AggregateOutcome", "GridMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Deployment parameters for a GridMonitor.
+
+    Parameters
+    ----------
+    n_nodes:
+        Overlay size.
+    bits:
+        Identifier width.
+    id_strategy:
+        ``"random"`` / ``"uniform"`` / ``"probing"`` (Sec. 3.5).
+    dat_scheme:
+        ``"basic"`` or ``"balanced"`` tree construction.
+    seed:
+        Reproducibility seed for identifier assignment.
+    """
+
+    n_nodes: int = 64
+    bits: int = 32
+    id_strategy: str = "probing"
+    dat_scheme: str = "balanced"
+    seed: int | None = None
+
+
+@dataclass
+class AggregateOutcome:
+    """Result of one global aggregation round."""
+
+    attribute: str
+    value: Any
+    tree: DatTree
+    #: sends + receives per node for this round.
+    message_loads: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def root(self) -> int:
+        """The root node that produced the global value."""
+        return self.tree.root
+
+    @property
+    def total_messages(self) -> int:
+        """Tree-edge messages for the round (``n - 1``)."""
+        return self.tree.n_nodes - 1
+
+
+class GridMonitor:
+    """A complete P-GMA stack over one simulated overlay.
+
+    Parameters
+    ----------
+    config:
+        Deployment parameters.
+    schemas:
+        Declared resource attributes for the MAAN index.
+    """
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        schemas: Mapping[str, AttributeSchema],
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config
+        self.space = IdSpace(config.bits)
+        assigner = make_assigner(config.id_strategy)
+        seed = rng if rng is not None else config.seed
+        self.ring: StaticRing = assigner.build_ring(self.space, config.n_nodes, rng=seed)
+        self.index = MaanNetwork(self.ring, schemas)
+        self.dat_builder = DatTreeBuilder(self.ring, scheme=DatScheme(config.dat_scheme))
+        self.producers: dict[int, Producer] = {}
+
+    # ------------------------------------------------------------------ #
+    # Producers
+    # ------------------------------------------------------------------ #
+
+    def attach_producer(self, producer: Producer) -> None:
+        """Bind a producer to its overlay node."""
+        if producer.node not in self.ring:
+            raise MonitoringError(f"node {producer.node} is not in the overlay")
+        self.producers[producer.node] = producer
+
+    def require_full_coverage(self) -> None:
+        """Raise unless every overlay node has a producer (Fig. 9 setup)."""
+        missing = [node for node in self.ring if node not in self.producers]
+        if missing:
+            raise MonitoringError(
+                f"{len(missing)} overlay nodes lack producers, e.g. {missing[:5]}"
+            )
+
+    def register_all(self, t: float = 0.0) -> int:
+        """Register every producer's resource in MAAN; returns total hops."""
+        return sum(
+            producer.register(self.index, t) for producer in self.producers.values()
+        )
+
+    def refresh_all(self, t: float) -> int:
+        """Refresh all dynamic registrations at time ``t``; returns hops."""
+        return sum(
+            producer.refresh_index(self.index, t)
+            for producer in self.producers.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+
+    def rendezvous_key(self, attribute: str) -> int:
+        """The DAT rendezvous key for an attribute: SHA-1 of its name
+        (paper Sec. 2.3)."""
+        return sha1_id(attribute, self.space)
+
+    def tree_for(self, attribute: str) -> DatTree:
+        """The DAT tree that aggregates ``attribute``."""
+        return self.dat_builder.build(self.rendezvous_key(attribute))
+
+    def aggregate(
+        self, attribute: str, aggregate: str = "avg", t: float = 0.0, **agg_kwargs
+    ) -> AggregateOutcome:
+        """One synchronous aggregation round over the attribute's DAT.
+
+        Every producer's reading at time ``t`` is lifted, merged bottom-up
+        along the tree, and finalized at the root — the exact dataflow of
+        the protocol service, evaluated synchronously so experiments get
+        deterministic per-round numbers.
+        """
+        self.require_full_coverage()
+        agg = get_aggregate(aggregate, **agg_kwargs)
+        tree = self.tree_for(attribute)
+
+        # Bottom-up merge in decreasing-depth order.
+        depths = tree.depths()
+        states: dict[int, Any] = {
+            node: agg.lift(self.producers[node].read(attribute, t))
+            for node in tree.nodes()
+        }
+        for node in sorted(tree.parent, key=lambda v: depths[v], reverse=True):
+            parent = tree.parent[node]
+            states[parent] = agg.merge(states[parent], states[node])
+        value = agg.finalize(states[tree.root])
+        return AggregateOutcome(
+            attribute=attribute,
+            value=value,
+            tree=tree,
+            message_loads=tree.message_loads(),
+        )
+
+    def actual_aggregate(
+        self, attribute: str, aggregate: str = "avg", t: float = 0.0, **agg_kwargs
+    ) -> Any:
+        """Ground truth: the aggregate computed directly over all readings."""
+        self.require_full_coverage()
+        agg = get_aggregate(aggregate, **agg_kwargs)
+        return agg.aggregate(
+            self.producers[node].read(attribute, t) for node in self.ring
+        )
+
+    # ------------------------------------------------------------------ #
+    # Consumers
+    # ------------------------------------------------------------------ #
+
+    def consumer(self, node: int | None = None) -> Consumer:
+        """An application endpoint at ``node`` (default: first ring node)."""
+        attach_at = node if node is not None else self.ring.nodes[0]
+        if attach_at not in self.ring:
+            raise MonitoringError(f"node {attach_at} is not in the overlay")
+        return Consumer(self, attach_at)

@@ -1,0 +1,129 @@
+"""The monitoring daemon loop: periodic refresh + aggregation scheduling.
+
+P-GMA deployments run two recurring jobs per node: refreshing the MAAN
+registrations of *dynamic* attributes (their values move around the ring
+as they change) and recomputing the global aggregates consumers watch.
+:class:`MonitoringScheduler` drives both over a
+:class:`~repro.gma.monitor.GridMonitor`, advancing trace time in fixed
+steps and recording the aggregate history — the loop behind a monitoring
+dashboard, factored out of the examples so it is testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.gma.monitor import GridMonitor
+from repro.util.validation import check_positive
+
+__all__ = ["WatchSpec", "MonitoringScheduler"]
+
+
+@dataclass(frozen=True)
+class WatchSpec:
+    """One recurring aggregate the scheduler maintains."""
+
+    attribute: str
+    aggregate: str = "avg"
+    #: recompute every this-many scheduler steps.
+    every_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every_steps <= 0:
+            raise ValueError(f"every_steps must be positive, got {self.every_steps}")
+
+
+@dataclass
+class _Series:
+    """Recorded history of one watch."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[Any] = field(default_factory=list)
+
+    def latest(self) -> Any:
+        return self.values[-1] if self.values else None
+
+
+class MonitoringScheduler:
+    """Drives refresh/aggregation cycles on a GridMonitor.
+
+    Parameters
+    ----------
+    monitor:
+        The deployment to drive.
+    step:
+        Trace-time seconds per scheduler step.
+    refresh_every_steps:
+        How often dynamic MAAN registrations are refreshed (0 disables).
+    """
+
+    def __init__(
+        self,
+        monitor: GridMonitor,
+        step: float = 10.0,
+        refresh_every_steps: int = 6,
+    ) -> None:
+        check_positive("step", step)
+        if refresh_every_steps < 0:
+            raise ValueError(
+                f"refresh_every_steps must be non-negative, got {refresh_every_steps}"
+            )
+        self.monitor = monitor
+        self.step = float(step)
+        self.refresh_every_steps = int(refresh_every_steps)
+        self.watches: list[WatchSpec] = []
+        self.series: dict[tuple[str, str], _Series] = {}
+        self.now = 0.0
+        self._steps = 0
+        self.refresh_hops = 0
+
+    def watch(
+        self, attribute: str, aggregate: str = "avg", every_steps: int = 1
+    ) -> WatchSpec:
+        """Register a recurring aggregate; returns its spec."""
+        spec = WatchSpec(attribute=attribute, aggregate=aggregate, every_steps=every_steps)
+        self.watches.append(spec)
+        self.series.setdefault((spec.attribute, spec.aggregate), _Series())
+        return spec
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+
+    def run_steps(self, count: int) -> None:
+        """Advance ``count`` steps, firing due refreshes and watches."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            self._steps += 1
+            self.now = self._steps * self.step
+            if (
+                self.refresh_every_steps
+                and self._steps % self.refresh_every_steps == 0
+            ):
+                self.refresh_hops += self.monitor.refresh_all(self.now)
+            for spec in self.watches:
+                if self._steps % spec.every_steps == 0:
+                    outcome = self.monitor.aggregate(
+                        spec.attribute, spec.aggregate, t=self.now
+                    )
+                    series = self.series[(spec.attribute, spec.aggregate)]
+                    series.times.append(self.now)
+                    series.values.append(outcome.value)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def latest(self, attribute: str, aggregate: str = "avg") -> Any:
+        """Most recent value of one watch (None before its first firing)."""
+        series = self.series.get((attribute, aggregate))
+        return series.latest() if series else None
+
+    def history(self, attribute: str, aggregate: str = "avg") -> list[tuple[float, Any]]:
+        """Full (time, value) history of one watch."""
+        series = self.series.get((attribute, aggregate))
+        if series is None:
+            return []
+        return list(zip(series.times, series.values))

@@ -1,0 +1,94 @@
+"""MAAN query model (paper Sec. 2.2).
+
+* :class:`RangeQuery` — one attribute, ``[low, high]``; resolved by routing
+  to ``successor(H(low))`` and walking successors until ``successor(H(high))``.
+* :class:`MultiAttributeQuery` — a conjunction of range sub-queries;
+  resolved with the *single-attribute dominated* strategy: iterate the ring
+  arc of the most selective sub-query only, filtering candidates against the
+  full conjunction locally at each node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.maan.attrs import Resource
+
+__all__ = ["RangeQuery", "MultiAttributeQuery", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """Closed-interval query on one numeric attribute."""
+
+    attribute: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise QueryError(
+                f"range query on {self.attribute!r} has high < low "
+                f"({self.high} < {self.low})"
+            )
+
+    def matches(self, resource: Resource) -> bool:
+        """Local filter: does ``resource`` satisfy this sub-query?"""
+        return resource.matches(self.attribute, self.low, self.high)
+
+    def selectivity(self, domain_low: float, domain_high: float) -> float:
+        """Fraction of the attribute domain this query covers."""
+        width = domain_high - domain_low
+        if width <= 0:
+            raise QueryError(f"degenerate domain [{domain_low}, {domain_high}]")
+        clipped_low = max(self.low, domain_low)
+        clipped_high = min(self.high, domain_high)
+        return max(clipped_high - clipped_low, 0.0) / width
+
+
+@dataclass(frozen=True)
+class MultiAttributeQuery:
+    """Conjunction of range sub-queries, one per attribute."""
+
+    sub_queries: tuple[RangeQuery, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sub_queries:
+            raise QueryError("multi-attribute query needs at least one sub-query")
+        names = [q.attribute for q in self.sub_queries]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate attribute in query: {names}")
+
+    @classmethod
+    def of(cls, *sub_queries: RangeQuery) -> "MultiAttributeQuery":
+        """Convenience constructor from positional sub-queries."""
+        return cls(sub_queries=tuple(sub_queries))
+
+    def matches(self, resource: Resource) -> bool:
+        """Local filter: the full conjunction."""
+        return all(q.matches(resource) for q in self.sub_queries)
+
+    def attribute_names(self) -> list[str]:
+        """Attributes referenced by the conjunction."""
+        return [q.attribute for q in self.sub_queries]
+
+
+@dataclass
+class QueryResult:
+    """Resolved query: matching resources plus routing-cost accounting."""
+
+    resources: list[Resource] = field(default_factory=list)
+    #: Hops spent reaching the arc start (the O(log n) term).
+    lookup_hops: int = 0
+    #: Nodes visited walking the arc (the O(k) / O(n*s_min) term).
+    nodes_visited: int = 0
+
+    @property
+    def total_hops(self) -> int:
+        """Total routing messages for this query."""
+        return self.lookup_hops + self.nodes_visited
+
+    def resource_ids(self) -> set[str]:
+        """Distinct matching resource identifiers."""
+        return {r.resource_id for r in self.resources}

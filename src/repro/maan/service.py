@@ -1,0 +1,338 @@
+"""Protocol-level MAAN: routed registration and queries (paper Sec. 2.2).
+
+:class:`MaanNetwork` resolves everything against a converged ring snapshot;
+this module is the live counterpart, running over a transport exactly as
+the paper describes:
+
+* **registration** — the resource record is routed to ``successor(H(v))``
+  for each attribute value (one Chord lookup + one store message each);
+* **range query** — routed to ``successor(H(l))``, then *walked* along
+  successor pointers: each node appends its local matches and forwards,
+  until the node owning ``H(u)`` replies directly to the originator.
+
+Message kinds: ``maan_store``, ``maan_scan``, ``maan_result``.
+
+Hosts follow the same shape as the DAT service: anything with ``ident``,
+``space``, ``transport``, ``upcalls`` plus an injected ``lookup_fn`` (live
+Chord lookup) and ``successor_provider`` / ``predecessor_provider``.
+:class:`~repro.chord.node.ChordProtocolNode` hosts wire these automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import QueryError, SchemaError
+from repro.maan.attrs import AttributeKind, AttributeSchema, Resource
+from repro.maan.query import MultiAttributeQuery, QueryResult, RangeQuery
+from repro.maan.store import ResourceStore
+from repro.sim.messages import Message
+
+__all__ = ["MaanNodeService"]
+
+_QUERY_IDS = itertools.count(1)
+
+
+@dataclass
+class _PendingQuery:
+    """Originator-side state for one in-flight range query."""
+
+    query: RangeQuery
+    on_result: Callable[[QueryResult], None]
+    lookup_hops: int = 0
+
+
+class MaanNodeService:
+    """The MAAN layer of one live node.
+
+    Parameters
+    ----------
+    host:
+        Object with ``ident``, ``space``, ``transport``, ``upcalls``.
+    schemas:
+        Declared attributes (shared, identical on every node).
+    lookup_fn:
+        ``(key, on_result(node, path), on_failure(key)) -> None`` — a live
+        Chord lookup. For :class:`ChordProtocolNode` hosts this defaults to
+        the node's own ``lookup``.
+    successor_provider / predecessor_provider:
+        Live neighbor pointers, used by the walk's forward/terminate logic.
+        Default to the host's attributes when present.
+    """
+
+    def __init__(
+        self,
+        host,
+        schemas: dict[str, AttributeSchema],
+        lookup_fn: Callable[..., None] | None = None,
+        successor_provider: Callable[[], int] | None = None,
+        predecessor_provider: Callable[[], int | None] | None = None,
+    ) -> None:
+        self.host = host
+        self.schemas = dict(schemas)
+        self.store = ResourceStore()
+        self._hashers = {
+            name: schema.hasher(host.space) for name, schema in schemas.items()
+        }
+        if lookup_fn is None and hasattr(host, "lookup"):
+            lookup_fn = host.lookup
+        if lookup_fn is None:
+            raise QueryError("MaanNodeService requires a lookup_fn")
+        self.lookup_fn = lookup_fn
+        if successor_provider is None and hasattr(host, "successor"):
+            successor_provider = lambda: host.successor  # noqa: E731
+        if successor_provider is None:
+            raise QueryError("MaanNodeService requires a successor_provider")
+        self.successor_provider = successor_provider
+        if predecessor_provider is None and hasattr(host, "predecessor"):
+            predecessor_provider = lambda: host.predecessor  # noqa: E731
+        self.predecessor_provider = predecessor_provider
+        self._pending: dict[int, _PendingQuery] = {}
+        host.upcalls["maan_store"] = self._on_store
+        host.upcalls["maan_scan"] = self._on_scan
+        host.upcalls["maan_result"] = self._on_result
+
+    @property
+    def ident(self) -> int:
+        return self.host.ident
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        resource: Resource,
+        on_done: Callable[[int], None] | None = None,
+    ) -> None:
+        """Route one store message per declared attribute value.
+
+        ``on_done(stored_count)`` fires after every attribute's owner
+        acknowledged placement (lookups that fail are skipped — soft-state
+        refresh retries them on the next cycle).
+        """
+        entries: list[tuple[str, Any, int]] = []
+        for attribute, value in resource.attributes.items():
+            schema = self.schemas.get(attribute)
+            if schema is None:
+                continue
+            normalized = schema.validate_value(value)
+            entries.append((attribute, normalized, self._hashers[attribute](normalized)))
+        if not entries:
+            raise SchemaError(
+                f"resource {resource.resource_id!r} has no declared attributes"
+            )
+        remaining = {"count": len(entries), "stored": 0}
+
+        def one_done(stored: bool) -> None:
+            remaining["count"] -= 1
+            if stored:
+                remaining["stored"] += 1
+            if remaining["count"] == 0 and on_done is not None:
+                on_done(remaining["stored"])
+
+        for attribute, normalized, key in entries:
+            self._place(attribute, normalized, resource, key, one_done)
+
+    def _place(
+        self,
+        attribute: str,
+        value: Any,
+        resource: Resource,
+        key: int,
+        done: Callable[[bool], None],
+    ) -> None:
+        def on_owner(owner: int, _path: list[int]) -> None:
+            if owner == self.ident:
+                self.store.put(attribute, value, resource)
+                done(True)
+                return
+            self.host.transport.send(
+                Message(
+                    kind="maan_store",
+                    source=self.ident,
+                    destination=owner,
+                    payload={
+                        "attribute": attribute,
+                        "value": value,
+                        "resource_id": resource.resource_id,
+                        "attributes": dict(resource.attributes),
+                    },
+                )
+            )
+            done(True)
+
+        def on_failure(_key: int) -> None:
+            done(False)
+
+        self.lookup_fn(key, on_owner, on_failure)
+
+    def _on_store(self, message: Message) -> None:
+        payload = message.payload
+        resource = Resource(
+            resource_id=payload["resource_id"], attributes=payload["attributes"]
+        )
+        self.store.put(payload["attribute"], payload["value"], resource)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Range queries (routed + successor walk)
+    # ------------------------------------------------------------------ #
+
+    def range_query(
+        self, query: RangeQuery, on_result: Callable[[QueryResult], None]
+    ) -> None:
+        """Resolve ``query`` over the live overlay; asynchronous result."""
+        schema = self.schemas.get(query.attribute)
+        if schema is None:
+            raise SchemaError(f"undeclared attribute {query.attribute!r}")
+        if schema.kind is not AttributeKind.NUMERIC:
+            raise QueryError(f"attribute {query.attribute!r} does not support ranges")
+        hasher = self._hashers[query.attribute]
+        low_key = hasher(schema.validate_value(query.low))
+        high_key = hasher(schema.validate_value(query.high))
+        query_id = next(_QUERY_IDS)
+        self._pending[query_id] = _PendingQuery(query=query, on_result=on_result)
+
+        def on_start(start: int, path: list[int]) -> None:
+            pending = self._pending.get(query_id)
+            if pending is not None:
+                pending.lookup_hops = len(path) - 1 if path else 0
+            scan = Message(
+                kind="maan_scan",
+                source=self.ident,
+                destination=start,
+                payload={
+                    "query_id": query_id,
+                    "originator": self.ident,
+                    "attribute": query.attribute,
+                    "low": query.low,
+                    "high": query.high,
+                    "low_key": low_key,
+                    "high_key": high_key,
+                    "start": start,
+                    "visited": 0,
+                    "matches": [],
+                },
+            )
+            if start == self.ident:
+                self._on_scan(scan)
+            else:
+                self.host.transport.send(scan)
+
+        def on_failure(_key: int) -> None:
+            pending = self._pending.pop(query_id, None)
+            if pending is not None:
+                pending.on_result(QueryResult())  # empty: lookup failed
+
+        self.lookup_fn(low_key, on_start, on_failure)
+
+    def _on_scan(self, message: Message) -> None:
+        """One hop of the successor walk.
+
+        The hash interval ``[low_key, high_key]`` never wraps (the hash is
+        monotone and ``low <= high``), so plain numeric membership decides
+        whether to keep walking:
+
+        * my identifier outside the interval → I am ``successor(high_key)``
+          (or the wrapped owner of the interval's tail): scan and reply;
+        * the next successor is the walk's start → full lap: reply;
+        * the next successor is inside the interval → keep walking;
+        * otherwise the next successor owns the tail: one final hop.
+        """
+        payload = message.payload
+        matches = list(payload["matches"])
+        for resource in self.store.scan(
+            payload["attribute"], payload["low"], payload["high"]
+        ):
+            matches.append(
+                {
+                    "resource_id": resource.resource_id,
+                    "attributes": dict(resource.attributes),
+                }
+            )
+        visited = payload["visited"] + 1
+        low_key, high_key = payload["low_key"], payload["high_key"]
+        in_interval = low_key <= self.ident <= high_key
+        successor = self.successor_provider()
+        if (
+            not in_interval
+            or successor == self.ident
+            or successor == payload["start"]
+        ):
+            self.host.transport.send(
+                Message(
+                    kind="maan_result",
+                    source=self.ident,
+                    destination=payload["originator"],
+                    payload={
+                        "query_id": payload["query_id"],
+                        "matches": matches,
+                        "visited": visited,
+                    },
+                )
+            )
+            return None
+        self.host.transport.send(
+            Message(
+                kind="maan_scan",
+                source=self.ident,
+                destination=successor,
+                payload={**payload, "matches": matches, "visited": visited},
+            )
+        )
+        return None
+
+    def multi_attribute_query(
+        self,
+        query: MultiAttributeQuery,
+        on_result: Callable[[QueryResult], None],
+    ) -> None:
+        """Resolve a conjunction with single-attribute domination (Sec. 2.2).
+
+        The sub-query with minimum selectivity is walked over the live
+        overlay; the full conjunction is applied as a filter when the walk
+        result arrives — one iteration, ``O(log n + n*s_min)`` hops.
+        """
+        def selectivity(sub: RangeQuery) -> float:
+            schema = self.schemas.get(sub.attribute)
+            if schema is None:
+                raise SchemaError(f"undeclared attribute {sub.attribute!r}")
+            return sub.selectivity(schema.low, schema.high)  # type: ignore[arg-type]
+
+        dominant = min(query.sub_queries, key=selectivity)
+
+        def filter_and_deliver(result: QueryResult) -> None:
+            result.resources = [
+                resource for resource in result.resources if query.matches(resource)
+            ]
+            on_result(result)
+
+        self.range_query(dominant, filter_and_deliver)
+
+    def _on_result(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._pending.pop(payload["query_id"], None)
+        if pending is None:
+            return None  # duplicate / late
+        seen: set[str] = set()
+        resources = []
+        for entry in payload["matches"]:
+            if entry["resource_id"] not in seen:
+                seen.add(entry["resource_id"])
+                resources.append(
+                    Resource(
+                        resource_id=entry["resource_id"],
+                        attributes=entry["attributes"],
+                    )
+                )
+        pending.on_result(
+            QueryResult(
+                resources=resources,
+                lookup_hops=pending.lookup_hops,
+                nodes_visited=max(payload["visited"] - 1, 0),
+            )
+        )
+        return None

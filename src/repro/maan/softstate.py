@@ -1,0 +1,147 @@
+"""Soft-state registration with TTL expiry.
+
+Grid registries are soft-state: producers re-register periodically and
+stale entries age out instead of requiring explicit deregistration (the
+paper's Sec. 1 critique of large-TTL caching in MDS motivates keeping TTLs
+short and refresh cheap — which MAAN's O(m log n) registration enables).
+:class:`SoftStateStore` wraps the per-node store with expiry timestamps;
+:class:`SoftStateRegistry` drives refresh/sweep cycles across a MAAN
+deployment and reports staleness metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.maan.attrs import Resource
+from repro.maan.network import MaanNetwork
+from repro.util.validation import check_positive
+
+__all__ = ["SoftStateStore", "SoftStateRegistry", "StalenessReport"]
+
+
+class SoftStateStore:
+    """Expiry bookkeeping for one node's records.
+
+    The underlying :class:`~repro.maan.store.ResourceStore` keeps the
+    records; this wrapper tracks a deadline per (attribute, resource) and
+    sweeps expired entries.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self._deadlines: dict[tuple[str, str], float] = {}
+
+    def put(
+        self, attribute: str, value, resource: Resource, now: float, ttl: float
+    ) -> None:
+        """Store a record that expires at ``now + ttl``."""
+        check_positive("ttl", ttl)
+        self.store.put(attribute, value, resource)
+        self._deadlines[(attribute, resource.resource_id)] = now + ttl
+
+    def touch(self, attribute: str, resource_id: str, now: float, ttl: float) -> bool:
+        """Extend a live record's deadline; False if it isn't present."""
+        key = (attribute, resource_id)
+        if key not in self._deadlines:
+            return False
+        self._deadlines[key] = now + ttl
+        return True
+
+    def sweep(self, now: float) -> int:
+        """Drop every expired record; returns the number removed."""
+        expired = [key for key, deadline in self._deadlines.items() if deadline <= now]
+        for attribute, resource_id in expired:
+            self.store.remove(attribute, resource_id)
+            del self._deadlines[(attribute, resource_id)]
+        return len(expired)
+
+    def live_count(self, now: float) -> int:
+        """Records that would survive a sweep at ``now``."""
+        return sum(1 for deadline in self._deadlines.values() if deadline > now)
+
+    def expired_count(self, now: float) -> int:
+        """Records that a sweep at ``now`` would remove."""
+        return sum(1 for deadline in self._deadlines.values() if deadline <= now)
+
+
+@dataclass(frozen=True)
+class StalenessReport:
+    """Registry-wide freshness snapshot."""
+
+    time: float
+    live_records: int
+    expired_records: int
+    swept_records: int
+
+    @property
+    def total_records(self) -> int:
+        return self.live_records + self.expired_records
+
+
+class SoftStateRegistry:
+    """TTL-driven registration layer over a MAAN deployment.
+
+    Parameters
+    ----------
+    network:
+        The MAAN overlay whose stores we manage.
+    default_ttl:
+        Lifetime of a registration without refresh.
+    """
+
+    def __init__(self, network: MaanNetwork, default_ttl: float = 60.0) -> None:
+        check_positive("default_ttl", default_ttl)
+        self.network = network
+        self.default_ttl = float(default_ttl)
+        self.soft_stores = {
+            node: SoftStateStore(store) for node, store in network.stores.items()
+        }
+
+    def register(
+        self, resource: Resource, now: float, ttl: float | None = None
+    ) -> int:
+        """Register with expiry; returns routing hops (as plain register)."""
+        lifetime = self.default_ttl if ttl is None else ttl
+        hops = 0
+        registered = 0
+        for attribute, value in resource.attributes.items():
+            if attribute not in self.network.schemas:
+                continue
+            schema = self.network.schemas[attribute]
+            normalized = schema.validate_value(value)
+            owner = self.network.node_for_value(attribute, normalized)
+            from repro.chord.routing import finger_route
+
+            hops += finger_route(
+                self.network.ring,
+                self.network.origin,
+                self.network._hashers[attribute](normalized),
+                tables=self.network.tables,
+            ).hops
+            self.soft_stores[owner].put(attribute, normalized, resource, now, lifetime)
+            registered += 1
+        if registered == 0:
+            from repro.errors import SchemaError
+
+            raise SchemaError(
+                f"resource {resource.resource_id!r} has no declared attributes"
+            )
+        return hops
+
+    def refresh(self, resource: Resource, now: float, ttl: float | None = None) -> int:
+        """Re-register (records may have moved if dynamic values changed)."""
+        return self.register(resource, now, ttl)
+
+    def sweep(self, now: float) -> int:
+        """Expire stale records network-wide; returns records removed."""
+        return sum(store.sweep(now) for store in self.soft_stores.values())
+
+    def report(self, now: float, swept: int = 0) -> StalenessReport:
+        """Freshness snapshot at ``now``."""
+        return StalenessReport(
+            time=now,
+            live_records=sum(s.live_count(now) for s in self.soft_stores.values()),
+            expired_records=sum(s.expired_count(now) for s in self.soft_stores.values()),
+            swept_records=swept,
+        )

@@ -1,0 +1,77 @@
+"""Per-node resource storage for MAAN.
+
+Each Chord node stores the resource records whose attribute-value hashes it
+is the successor of. Records are indexed per attribute so range scans touch
+only the relevant attribute's entries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+from repro.maan.attrs import Resource
+
+__all__ = ["ResourceStore"]
+
+
+class ResourceStore:
+    """Attribute-indexed resource records held by one node."""
+
+    def __init__(self) -> None:
+        # attribute -> resource_id -> (value, resource)
+        self._by_attribute: dict[str, dict[str, tuple[Any, Resource]]] = defaultdict(dict)
+
+    def put(self, attribute: str, value: Any, resource: Resource) -> None:
+        """Store (or refresh) one resource record under ``attribute``.
+
+        Re-registration replaces the previous value — resources update
+        their dynamic attributes (cpu-usage) continuously.
+        """
+        self._by_attribute[attribute][resource.resource_id] = (value, resource)
+
+    def remove(self, attribute: str, resource_id: str) -> bool:
+        """Drop a record; returns True if something was removed."""
+        bucket = self._by_attribute.get(attribute)
+        if bucket is None:
+            return False
+        return bucket.pop(resource_id, None) is not None
+
+    def remove_resource(self, resource_id: str) -> int:
+        """Drop every record of ``resource_id``; returns the count removed."""
+        removed = 0
+        for bucket in self._by_attribute.values():
+            if bucket.pop(resource_id, None) is not None:
+                removed += 1
+        return removed
+
+    def scan(self, attribute: str, low: Any, high: Any) -> list[Resource]:
+        """All locally stored resources with ``attribute`` value in [low, high]."""
+        bucket = self._by_attribute.get(attribute, {})
+        return [
+            resource
+            for value, resource in bucket.values()
+            if low <= value <= high
+        ]
+
+    def all_for_attribute(self, attribute: str) -> list[Resource]:
+        """Every resource stored under ``attribute`` on this node."""
+        return [resource for _value, resource in self._by_attribute.get(attribute, {}).values()]
+
+    def values_for_attribute(self, attribute: str) -> list[Any]:
+        """The raw attribute values stored under ``attribute``."""
+        return [value for value, _resource in self._by_attribute.get(attribute, {}).values()]
+
+    def count(self, attribute: str | None = None) -> int:
+        """Record count for one attribute, or total across attributes."""
+        if attribute is not None:
+            return len(self._by_attribute.get(attribute, {}))
+        return sum(len(bucket) for bucket in self._by_attribute.values())
+
+    def attributes(self) -> Iterable[str]:
+        """Attribute names with at least one stored record."""
+        return [name for name, bucket in self._by_attribute.items() if bucket]
+
+    def clear(self) -> None:
+        """Drop everything (node departure hand-off in tests)."""
+        self._by_attribute.clear()

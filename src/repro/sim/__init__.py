@@ -1,0 +1,55 @@
+"""Discrete-event simulation engine and transports (paper Sec. 4, Fig. 6).
+
+The prototype runs the same Chord/DAT layers over two interchangeable
+substrates: a UDP RPC module and a heap-based discrete-event simulator.
+This package reproduces that design:
+
+* :class:`~repro.sim.engine.SimulationEngine` — deterministic heap-ordered
+  event queue with a virtual clock.
+* :class:`~repro.sim.transport.Transport` — the interface both substrates
+  implement (fire-and-forget ``send`` plus request/response ``call``).
+* :class:`~repro.sim.simnet.SimTransport` — DES-backed delivery with
+  pluggable latency models and optional loss.
+* :class:`~repro.sim.udprpc.UdpRpcTransport` — real UDP sockets on
+  localhost with timeouts and retries (the paper's 512-instance cluster
+  setup, scaled to the test machine).
+* :class:`~repro.sim.inproc.InprocTransport` — zero-latency direct calls
+  for unit tests.
+* :class:`~repro.sim.stats.MessageStats` — per-node message/byte counters
+  feeding the load-balance experiments.
+"""
+
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    UniformLatency,
+    LanWanLatency,
+)
+from repro.sim.messages import Message, encode_message, decode_message
+from repro.sim.stats import MessageStats
+from repro.sim.transport import Transport, MessageHandler
+from repro.sim.inproc import InprocTransport
+from repro.sim.simnet import SimTransport
+from repro.sim.udprpc import UdpRpcTransport
+from repro.sim.tracing import MessageTracer, TraceRecord
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LanWanLatency",
+    "Message",
+    "encode_message",
+    "decode_message",
+    "MessageStats",
+    "Transport",
+    "MessageHandler",
+    "InprocTransport",
+    "SimTransport",
+    "UdpRpcTransport",
+    "MessageTracer",
+    "TraceRecord",
+]

@@ -1,0 +1,161 @@
+"""Heap-based discrete-event simulation engine (paper Sec. 4).
+
+"A heap-based event queue is used to insert and fire those events in a
+chronological order." — this module is that engine, with two additions a
+reproduction needs: deterministic tie-breaking (events at equal timestamps
+fire in insertion order, so runs are bit-identical across platforms) and
+cancellable events (protocol timers are rescheduled constantly).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "SimulationEngine"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Ordering is (time, sequence) — the sequence number breaks ties in
+    insertion order, making simulations deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it (O(1) lazy deletion)."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """A virtual clock plus a heap of pending events.
+
+    Usage::
+
+        engine = SimulationEngine()
+        engine.schedule(1.5, lambda: print("fires at t=1.5"))
+        engine.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed so far."""
+        return self._events_fired
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(
+            time=time, sequence=next(self._sequence), callback=callback, label=label
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """Fire the next event. Returns False when the queue is exhausted."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> float:
+        """Drain events, optionally bounded by virtual time or event count.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time; the clock
+            advances exactly to ``until`` (events at ``t == until`` fire).
+        max_events:
+            Safety valve against runaway event loops.
+
+        Returns
+        -------
+        float
+            The virtual time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                # Skip cancelled heads without firing.
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events} "
+                        f"(possible event loop at t={self._now})"
+                    )
+                self.step()
+                fired += 1
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left where it is)."""
+        self._heap.clear()

@@ -1,0 +1,66 @@
+"""Zero-latency in-process transport for unit tests.
+
+Delivery is synchronous: ``send`` invokes the destination handler before
+returning. Timers are queued and fired manually with :meth:`advance`, so
+tests control time explicitly without a full simulation engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.sim.messages import Message
+from repro.sim.transport import Transport
+
+__all__ = ["InprocTransport"]
+
+
+class InprocTransport(Transport):
+    """Synchronous direct-call transport with a manual clock."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._time = 0.0
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def now(self) -> float:
+        return self._time
+
+    def send(self, message: Message) -> None:
+        size = message.encoded_size()
+        self.stats.record_send(message.source, size)
+        if message.is_response:
+            # Responses are dispatched even if the caller node's handler is
+            # gone; the pending-call table decides.
+            self.stats.record_receive(message.destination, size)
+            self._dispatch(message)
+            return
+        if not self.is_registered(message.destination):
+            return
+        self.stats.record_receive(message.destination, size)
+        self._dispatch(message)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Callable[[], None]:
+        seq = next(self._timer_seq)
+        heapq.heappush(self._timers, (self._time + delay, seq, callback))
+
+        def cancel() -> None:
+            self._cancelled.add(seq)
+
+        return cancel
+
+    def advance(self, delta: float) -> None:
+        """Move the manual clock forward, firing due timers in order."""
+        target = self._time + delta
+        while self._timers and self._timers[0][0] <= target:
+            when, seq, callback = heapq.heappop(self._timers)
+            self._time = when
+            if seq not in self._cancelled:
+                callback()
+            else:
+                self._cancelled.discard(seq)
+        self._time = target

@@ -1,0 +1,101 @@
+"""Wire messages shared by all transports.
+
+Messages are small tagged dicts. The UDP transport serializes them as JSON
+(UTF-8); the simulated and in-process transports pass the objects straight
+through but still account for the encoded size so message/byte statistics
+are comparable across substrates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TransportError
+
+__all__ = ["Message", "encode_message", "decode_message"]
+
+_MSG_COUNTER = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One protocol message.
+
+    Parameters
+    ----------
+    kind:
+        Application-level message type (e.g. ``"find_successor"``,
+        ``"agg_push"``).
+    source, destination:
+        Node identifiers (transport addresses are resolved by the
+        transport's registry).
+    payload:
+        JSON-serializable dict.
+    msg_id:
+        Unique id; responses echo the request's id in ``reply_to``.
+    reply_to:
+        For responses: the ``msg_id`` of the request being answered.
+    """
+
+    kind: str
+    source: int
+    destination: int
+    payload: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_MSG_COUNTER))
+    reply_to: int | None = None
+
+    @property
+    def is_response(self) -> bool:
+        """True when this message answers an earlier request."""
+        return self.reply_to is not None
+
+    def response(self, kind: str | None = None, **payload: Any) -> "Message":
+        """Build a response to this message (source/destination swapped)."""
+        return Message(
+            kind=kind or f"{self.kind}_reply",
+            source=self.destination,
+            destination=self.source,
+            payload=payload,
+            reply_to=self.msg_id,
+        )
+
+    def encoded_size(self) -> int:
+        """Byte size of this message on the wire (JSON encoding)."""
+        return len(encode_message(self))
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize to the JSON wire format used by the UDP transport."""
+    try:
+        return json.dumps(
+            {
+                "kind": message.kind,
+                "src": message.source,
+                "dst": message.destination,
+                "payload": message.payload,
+                "msg_id": message.msg_id,
+                "reply_to": message.reply_to,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"message payload is not JSON-serializable: {exc}") from exc
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse a wire message; raises :class:`TransportError` on malformed input."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+        return Message(
+            kind=obj["kind"],
+            source=obj["src"],
+            destination=obj["dst"],
+            payload=obj.get("payload", {}),
+            msg_id=obj.get("msg_id", 0),
+            reply_to=obj.get("reply_to"),
+        )
+    except (KeyError, ValueError, UnicodeDecodeError) as exc:
+        raise TransportError(f"malformed wire message: {exc}") from exc

@@ -1,0 +1,143 @@
+"""The transport interface shared by simulator, UDP, and in-process layers.
+
+The paper's prototype runs identical Chord/DAT layers over a UDP RPC module
+and a discrete-event simulator (Sec. 4: "the simulator ... provides the same
+interface to the Chord and DAT layers"). :class:`Transport` is that
+interface. Because the simulator cannot block, the request/response
+primitive is continuation-passing: ``call(message, on_reply, on_timeout)``.
+The UDP transport adapts its socket loop to the same shape, so protocol code
+is written once.
+
+Handlers: each node registers a ``MessageHandler``. If the handler returns
+a :class:`~repro.sim.messages.Message`, the transport delivers it as the
+response; returning ``None`` means either "no response" or "response will be
+sent later via :meth:`Transport.send`" (the transport matches ``reply_to``
+against pending calls in both cases).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from repro.errors import TransportError
+from repro.sim.messages import Message
+from repro.sim.stats import MessageStats
+
+__all__ = ["MessageHandler", "ReplyCallback", "TimeoutCallback", "Transport"]
+
+MessageHandler = Callable[[Message], Optional[Message]]
+ReplyCallback = Callable[[Message], None]
+TimeoutCallback = Callable[[Message], None]
+
+
+class Transport(ABC):
+    """Abstract message substrate with timers and RPC plumbing."""
+
+    #: Default RPC deadline in (virtual or wall-clock) seconds.
+    default_timeout: float = 2.0
+
+    def __init__(self) -> None:
+        self.stats = MessageStats()
+        self._handlers: dict[int, MessageHandler] = {}
+        # Pending request-id -> (on_reply, cancel_timeout)
+        self._pending: dict[int, tuple[ReplyCallback, Callable[[], None]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, node: int, handler: MessageHandler) -> None:
+        """Attach ``handler`` as node ``node``'s message processor."""
+        if node in self._handlers:
+            raise TransportError(f"node {node} is already registered")
+        self._handlers[node] = handler
+
+    def unregister(self, node: int) -> None:
+        """Detach a node (its messages are dropped afterwards)."""
+        self._handlers.pop(node, None)
+
+    def is_registered(self, node: int) -> bool:
+        """True if the node currently has a handler."""
+        return node in self._handlers
+
+    def registered_nodes(self) -> list[int]:
+        """Identifiers of all registered nodes."""
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------------------ #
+    # Abstract substrate operations
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def send(self, message: Message) -> None:
+        """Deliver ``message`` (eventually) to its destination's handler.
+
+        Undeliverable messages (unknown node, simulated failure) are
+        silently dropped — exactly like UDP — and surface as call timeouts.
+        """
+
+    @abstractmethod
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Callable[[], None]:
+        """Run ``callback`` after ``delay`` seconds; returns a canceller."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time on this substrate (virtual or wall-clock)."""
+
+    # ------------------------------------------------------------------ #
+    # RPC on top of send
+    # ------------------------------------------------------------------ #
+
+    def call(
+        self,
+        message: Message,
+        on_reply: ReplyCallback,
+        on_timeout: TimeoutCallback | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        """Send a request and invoke ``on_reply`` with the response.
+
+        If no response arrives within ``timeout`` the request is abandoned
+        and ``on_timeout`` (if given) fires with the original message.
+        """
+        deadline = self.default_timeout if timeout is None else timeout
+
+        def expire() -> None:
+            entry = self._pending.pop(message.msg_id, None)
+            if entry is not None and on_timeout is not None:
+                on_timeout(message)
+
+        cancel = self.schedule(deadline, expire)
+        self._pending[message.msg_id] = (on_reply, cancel)
+        self.send(message)
+
+    def _dispatch(self, message: Message) -> None:
+        """Route an arriving message to a pending call or a node handler.
+
+        Subclasses invoke this at delivery time (after latency, on the
+        receive thread, etc.). Message accounting is the subclass's duty —
+        it knows the wire size.
+        """
+        if message.is_response:
+            entry = self._pending.pop(message.reply_to, None)
+            if entry is not None:
+                on_reply, cancel = entry
+                cancel()
+                on_reply(message)
+            # Unmatched responses (late after timeout) are dropped, as in UDP.
+            return
+        handler = self._handlers.get(message.destination)
+        if handler is None:
+            return  # dropped: node departed or never existed
+        response = handler(message)
+        if response is not None:
+            if response.reply_to is None:
+                raise TransportError(
+                    f"handler for {message.kind} returned a response without reply_to"
+                )
+            self.send(response)
+
+    def pending_calls(self) -> int:
+        """Number of outstanding RPCs (useful in tests)."""
+        return len(self._pending)

@@ -1,0 +1,30 @@
+"""Small shared utilities: bit math, RNG plumbing, validation helpers."""
+
+from repro.util.bits import (
+    ceil_log2,
+    floor_log2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.util.rng import RngMixin, derive_rng, ensure_rng, spawn_seeds
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_range,
+)
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "RngMixin",
+    "derive_rng",
+    "ensure_rng",
+    "spawn_seeds",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_range",
+]

@@ -1,0 +1,64 @@
+"""Exact integer bit math used throughout the Chord/DAT layers.
+
+The balanced-routing derivation (paper Sec. 3.4) leans on exact
+``ceil(log2(.))`` arithmetic; floating point ``math.log2`` misrounds near
+powers of two for large identifier spaces (``b=160``), so everything here is
+implemented with integer bit operations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "ceil_div",
+]
+
+
+def floor_log2(value: int) -> int:
+    """Return ``floor(log2(value))`` for a positive integer.
+
+    >>> floor_log2(1), floor_log2(2), floor_log2(3), floor_log2(4)
+    (0, 1, 1, 2)
+    """
+    if value <= 0:
+        raise ValueError(f"floor_log2 requires a positive integer, got {value}")
+    return value.bit_length() - 1
+
+
+def ceil_log2(value: int) -> int:
+    """Return ``ceil(log2(value))`` for a positive integer.
+
+    >>> ceil_log2(1), ceil_log2(2), ceil_log2(3), ceil_log2(4), ceil_log2(5)
+    (0, 1, 2, 2, 3)
+    """
+    if value <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {value}")
+    return (value - 1).bit_length()
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is an exact power of two (1, 2, 4, ...)."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Return the smallest power of two ``>= value`` (``value >= 1``).
+
+    >>> next_power_of_two(1), next_power_of_two(5), next_power_of_two(8)
+    (1, 8, 8)
+    """
+    if value <= 0:
+        raise ValueError(f"next_power_of_two requires a positive integer, got {value}")
+    return 1 << ceil_log2(value)
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Exact ``ceil(numerator / denominator)`` for non-negative integers."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)

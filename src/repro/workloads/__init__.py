@@ -1,0 +1,23 @@
+"""Synthetic workload generators for the evaluation experiments."""
+
+from repro.workloads.grids import (
+    GridResourceGenerator,
+    default_schemas,
+    make_producers,
+)
+from repro.workloads.churn import ChurnEvent, ChurnKind, ChurnWorkload
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.scenarios import Scenario, available_scenarios, scenario
+
+__all__ = [
+    "Scenario",
+    "available_scenarios",
+    "scenario",
+    "GridResourceGenerator",
+    "default_schemas",
+    "make_producers",
+    "ChurnEvent",
+    "ChurnKind",
+    "ChurnWorkload",
+    "QueryWorkload",
+]

@@ -1,0 +1,98 @@
+"""Churn workloads: Poisson node arrivals and departures.
+
+The paper credits DAT with "very low overhead during node arrival and
+departure" because trees are implicit in Chord state. The churn benchmark
+replays these schedules against a live protocol overlay and measures the
+maintenance traffic and tree-repair latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["ChurnKind", "ChurnEvent", "ChurnWorkload"]
+
+
+class ChurnKind(str, Enum):
+    """What happens to the node."""
+
+    JOIN = "join"
+    LEAVE = "leave"  # graceful departure
+    CRASH = "crash"  # fail-stop
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change at a point in (virtual) time."""
+
+    time: float
+    kind: ChurnKind
+
+
+class ChurnWorkload:
+    """A Poisson schedule of joins/leaves/crashes over a time horizon.
+
+    Parameters
+    ----------
+    duration:
+        Horizon in seconds.
+    join_rate, leave_rate:
+        Expected events per second of each kind.
+    crash_fraction:
+        Fraction of departures that are crashes instead of graceful leaves.
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        duration: float,
+        join_rate: float = 0.1,
+        leave_rate: float = 0.1,
+        crash_fraction: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        check_positive("duration", duration)
+        check_non_negative("join_rate", join_rate)
+        check_non_negative("leave_rate", leave_rate)
+        if not 0.0 <= crash_fraction <= 1.0:
+            raise ValueError(f"crash_fraction must be in [0, 1], got {crash_fraction}")
+        self.duration = float(duration)
+        self.join_rate = float(join_rate)
+        self.leave_rate = float(leave_rate)
+        self.crash_fraction = float(crash_fraction)
+        self._rng = ensure_rng(seed)
+
+    def _poisson_times(self, rate: float) -> list[float]:
+        if rate <= 0:
+            return []
+        times: list[float] = []
+        t = 0.0
+        while True:
+            t += float(self._rng.exponential(1.0 / rate))
+            if t >= self.duration:
+                return times
+            times.append(t)
+
+    def generate(self) -> list[ChurnEvent]:
+        """The full event schedule, time-ordered."""
+        events = [ChurnEvent(t, ChurnKind.JOIN) for t in self._poisson_times(self.join_rate)]
+        for t in self._poisson_times(self.leave_rate):
+            kind = (
+                ChurnKind.CRASH
+                if self._rng.random() < self.crash_fraction
+                else ChurnKind.LEAVE
+            )
+            events.append(ChurnEvent(t, kind))
+        events.sort(key=lambda e: e.time)
+        return events
+
+    def expected_events(self) -> float:
+        """Expected total membership changes over the horizon."""
+        return (self.join_rate + self.leave_rate) * self.duration

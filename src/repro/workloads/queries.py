@@ -1,0 +1,62 @@
+"""Query workloads for the MAAN routing-cost experiments (Sec. 2.2 claims)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maan.attrs import AttributeSchema
+from repro.maan.query import MultiAttributeQuery, RangeQuery
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_probability
+
+__all__ = ["QueryWorkload"]
+
+
+class QueryWorkload:
+    """Draws range queries with controlled selectivity.
+
+    Parameters
+    ----------
+    schemas:
+        Declared attributes to query against.
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        schemas: dict[str, AttributeSchema],
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not schemas:
+            raise ValueError("query workload needs at least one schema")
+        self.schemas = dict(schemas)
+        self._rng = ensure_rng(seed)
+
+    def range_query(self, attribute: str, selectivity: float) -> RangeQuery:
+        """One range query covering ``selectivity`` of the attribute domain,
+        at a uniformly random position."""
+        check_probability("selectivity", selectivity)
+        schema = self.schemas[attribute]
+        low, high = float(schema.low), float(schema.high)  # type: ignore[arg-type]
+        width = (high - low) * selectivity
+        start = float(self._rng.uniform(low, high - width)) if width < high - low else low
+        return RangeQuery(attribute=attribute, low=start, high=start + width)
+
+    def multi_query(
+        self, selectivities: dict[str, float]
+    ) -> MultiAttributeQuery:
+        """A conjunction with one sub-query per (attribute, selectivity)."""
+        sub_queries = [
+            self.range_query(attribute, selectivity)
+            for attribute, selectivity in selectivities.items()
+        ]
+        return MultiAttributeQuery.of(*sub_queries)
+
+    def batch(
+        self, attribute: str, selectivity: float, count: int
+    ) -> list[RangeQuery]:
+        """``count`` i.i.d. range queries at fixed selectivity."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.range_query(attribute, selectivity) for _ in range(count)]

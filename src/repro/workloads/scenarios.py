@@ -1,0 +1,103 @@
+"""Named deployment scenarios used by examples and exploratory runs.
+
+Each scenario bundles the knobs a realistic deployment implies — overlay
+size, identifier strategy, trace character, churn level — so experiments
+can say ``scenario("planetlab")`` instead of repeating parameter blocks.
+Scales follow the paper's motivating numbers (Sec. 1): PlanetLab at ~700
+machines, a "planet-scale Grid" at tens of thousands of CPUs, and a
+SETI@home-like volunteer swarm with heavy churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gma.monitor import MonitorConfig
+from repro.gma.traces import TraceGenerator
+from repro.workloads.churn import ChurnWorkload
+
+__all__ = ["Scenario", "scenario", "available_scenarios"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named deployment profile."""
+
+    name: str
+    description: str
+    monitor: MonitorConfig
+    #: membership changes per hour per 100 nodes (drives churn workloads).
+    churn_per_hour_per_100: float
+    #: trace volatility: AR noise scale in utilization points.
+    trace_noise: float
+
+    def trace_generator(self, seed: int | None = None) -> TraceGenerator:
+        """A trace generator matched to this scenario's volatility."""
+        return TraceGenerator(noise_scale=self.trace_noise, seed=seed)
+
+    def churn_workload(self, duration: float, seed: int | None = None) -> ChurnWorkload:
+        """A churn schedule scaled to the deployment size."""
+        rate_per_second = (
+            self.churn_per_hour_per_100 * (self.monitor.n_nodes / 100.0) / 3600.0
+        )
+        return ChurnWorkload(
+            duration=duration,
+            join_rate=rate_per_second / 2,
+            leave_rate=rate_per_second / 2,
+            crash_fraction=0.5 if self.name == "seti" else 0.1,
+            seed=seed,
+        )
+
+
+_SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="cluster",
+            description="the paper's 8-machine lab cluster, 512 DAT instances",
+            monitor=MonitorConfig(n_nodes=512, bits=32, id_strategy="probing"),
+            churn_per_hour_per_100=0.1,  # machines basically never leave
+            trace_noise=4.0,
+        ),
+        Scenario(
+            name="planetlab",
+            description="PlanetLab circa the paper: ~706 machines, 340 sites",
+            monitor=MonitorConfig(n_nodes=706, bits=32, id_strategy="probing"),
+            churn_per_hour_per_100=2.0,  # occasional reboots/outages
+            trace_noise=8.0,
+        ),
+        Scenario(
+            name="grid",
+            description="planet-scale Grid forecast: thousands of CPUs",
+            monitor=MonitorConfig(n_nodes=8192, bits=32, id_strategy="probing"),
+            churn_per_hour_per_100=1.0,
+            trace_noise=5.0,
+        ),
+        Scenario(
+            name="seti",
+            description="SETI@home-like volunteer swarm: heavy churn, crashes",
+            monitor=MonitorConfig(n_nodes=2048, bits=32, id_strategy="random"),
+            churn_per_hour_per_100=40.0,  # volunteers come and go
+            trace_noise=12.0,
+        ),
+    )
+}
+
+
+def scenario(name: str) -> Scenario:
+    """Fetch a named scenario.
+
+    >>> scenario("planetlab").monitor.n_nodes
+    706
+    """
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(_SCENARIOS)}"
+        ) from None
+
+
+def available_scenarios() -> list[str]:
+    """Sorted scenario names."""
+    return sorted(_SCENARIOS)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the DAT reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chord.idspace import IdSpace
+from repro.chord.ring import StaticRing
+
+
+@pytest.fixture
+def space4() -> IdSpace:
+    """The paper's worked-example space: 4 bits, 16 identifiers."""
+    return IdSpace(4)
+
+
+@pytest.fixture
+def space16() -> IdSpace:
+    """A mid-size space for randomized tests."""
+    return IdSpace(16)
+
+
+@pytest.fixture
+def space32() -> IdSpace:
+    """The default experiment space."""
+    return IdSpace(32)
+
+
+@pytest.fixture
+def full_ring4(space4: IdSpace) -> StaticRing:
+    """All 16 nodes of the 4-bit space — the paper's Fig. 2/5 network."""
+    return StaticRing(space4, range(16))
+
+
+@pytest.fixture
+def uniform_ring(space16: IdSpace) -> StaticRing:
+    """64 perfectly evenly spaced nodes in a 16-bit space."""
+    n = 64
+    return StaticRing(space16, [(i * space16.size) // n for i in range(n)])

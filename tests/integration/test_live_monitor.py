@@ -1,0 +1,52 @@
+"""Integration: the full P-GMA stack over the live protocol (LiveGridMonitor)."""
+
+import pytest
+
+from repro.gma.live import LiveGridMonitor
+from repro.gma.monitor import MonitorConfig
+from repro.workloads.grids import default_schemas, make_producers
+
+
+@pytest.fixture(scope="module")
+def live():
+    config = MonitorConfig(n_nodes=16, bits=16, id_strategy="probing", seed=31)
+    monitor = LiveGridMonitor(config, default_schemas())
+    ring = monitor.network.ideal_ring()
+    for producer in make_producers(ring, seed=31).values():
+        monitor.attach_producer(producer)
+    stored = monitor.register_all(t=0.0)
+    assert stored == 16 * 4  # every attribute of every node placed
+    return monitor
+
+
+class TestLiveDiscovery:
+    def test_full_range_finds_everyone(self, live):
+        result = live.search("cpu-usage", 0.0, 100.0)
+        assert len(result.resources) == 16
+
+    def test_narrow_range_filters(self, live):
+        result = live.search("memory-size", 0.0, 2.0)
+        for resource in result.resources:
+            assert resource.attributes["memory-size"] <= 2.0
+
+    def test_routed_costs_reported(self, live):
+        result = live.search("cpu-usage", 10.0, 30.0)
+        assert result.lookup_hops >= 0
+        assert result.nodes_visited >= 0
+
+
+class TestLiveAggregation:
+    def test_on_demand_matches_truth(self, live):
+        measured = live.aggregate("cpu-usage", "sum", t=0.0)
+        truth = live.actual_aggregate("cpu-usage", "sum", t=0.0)
+        assert measured == pytest.approx(truth)
+
+    def test_avg_aggregate(self, live):
+        measured = live.aggregate("cpu-usage", "avg", t=5.0)
+        truth = live.actual_aggregate("cpu-usage", "avg", t=5.0)
+        assert measured == pytest.approx(truth)
+
+    def test_continuous_monitoring_tracks(self, live):
+        live.start_monitoring("cpu-usage", "count", interval=0.5)
+        live.run(8.0)
+        assert live.read_monitoring("cpu-usage") == 16

@@ -1,0 +1,111 @@
+"""Integration: multi-attribute conjunctions over the protocol MAAN."""
+
+import pytest
+
+from repro.chord.idspace import IdSpace
+from repro.chord.network import ChordNetwork
+from repro.chord.node import ChordConfig
+from repro.errors import SchemaError
+from repro.maan.attrs import AttributeSchema, Resource
+from repro.maan.query import MultiAttributeQuery, RangeQuery
+from repro.maan.service import MaanNodeService
+from repro.sim.latency import ConstantLatency
+from repro.sim.simnet import SimTransport
+
+SCHEMAS = {
+    "cpu-usage": AttributeSchema("cpu-usage", low=0.0, high=100.0),
+    "memory-size": AttributeSchema("memory-size", low=0.0, high=64.0),
+}
+
+
+@pytest.fixture(scope="module")
+def populated():
+    space = IdSpace(14)
+    transport = SimTransport(latency=ConstantLatency(0.002))
+    config = ChordConfig(stabilize_interval=0.25, fix_fingers_interval=0.05)
+    network = ChordNetwork(space, transport, config)
+    for i in range(12):
+        network.add_node((i * space.size) // 12 + 5)
+        network.settle(1.0)
+    network.settle_until_converged()
+    for node in network.nodes.values():
+        node.fix_all_fingers()
+    network.settle(5.0)
+    services = {
+        ident: MaanNodeService(node, SCHEMAS)
+        for ident, node in network.nodes.items()
+    }
+    resources = [
+        Resource(
+            f"m-{i}",
+            {"cpu-usage": (i * 11) % 101 * 0.95, "memory-size": (i * 3) % 65 * 0.9},
+        )
+        for i in range(40)
+    ]
+    origin = services[next(iter(services))]
+    for resource in resources:
+        origin.register(resource)
+    transport.run(until=transport.now() + 10.0)
+    return transport, services, resources
+
+
+def resolve(transport, service, query):
+    results = []
+    service.multi_attribute_query(query, results.append)
+    transport.run(until=transport.now() + 10.0)
+    assert len(results) == 1
+    return results[0]
+
+
+class TestMultiAttributeProtocolQuery:
+    def test_conjunction_exact(self, populated):
+        transport, services, resources = populated
+        service = services[next(iter(services))]
+        query = MultiAttributeQuery.of(
+            RangeQuery("cpu-usage", 0.0, 40.0),
+            RangeQuery("memory-size", 10.0, 60.0),
+        )
+        result = resolve(transport, service, query)
+        expected = {r.resource_id for r in resources if query.matches(r)}
+        assert result.resource_ids() == expected
+
+    def test_dominant_subquery_bounds_cost(self, populated):
+        transport, services, _resources = populated
+        service = services[next(iter(services))]
+        narrow = MultiAttributeQuery.of(
+            RangeQuery("cpu-usage", 10.0, 14.0),     # selectivity 0.04
+            RangeQuery("memory-size", 0.0, 64.0),    # selectivity 1.0
+        )
+        result = resolve(transport, service, narrow)
+        # Cost follows the narrow arc, far below a full lap of 12 nodes.
+        assert result.nodes_visited <= 4
+
+    def test_undeclared_attribute_rejected(self, populated):
+        _transport, services, _resources = populated
+        service = services[next(iter(services))]
+        query = MultiAttributeQuery.of(RangeQuery("gpu", 0, 1))
+        with pytest.raises(SchemaError):
+            service.multi_attribute_query(query, lambda r: None)
+
+
+class TestProbingJoins:
+    def test_add_node_probing_balances_ring(self):
+        space = IdSpace(16)
+        transport = SimTransport(latency=ConstantLatency(0.002))
+        config = ChordConfig(stabilize_interval=0.25, fix_fingers_interval=0.05)
+        network = ChordNetwork(space, transport, config)
+        network.add_node(17)
+        network.settle(3.0)
+        import numpy as np
+
+        rng = np.random.default_rng(12)
+        joined = 0
+        for _ in range(15):
+            node = network.add_node_probing(rng=rng)
+            if node is not None:
+                joined += 1
+            network.settle(3.0)
+        network.settle_until_converged()
+        assert joined >= 12  # probes resolve on a healthy overlay
+        ring = network.ideal_ring()
+        assert ring.gap_ratio() <= 16  # far better than random joins' tail

@@ -1,0 +1,117 @@
+"""Property-based tests: aggregate merging must be order-insensitive.
+
+DAT correctness (Sec. 2.3) rests on ``f`` being computable by recursive
+merging in *any* tree shape — so merge must be associative and commutative,
+and tree-merged results must equal flat aggregation.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import available_aggregates, get_aggregate
+
+VALUES = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+def make(name: str):
+    if name == "histogram":
+        return get_aggregate(name, low=-1e6, high=1e6, n_bins=8)
+    if name == "quantile":
+        return get_aggregate(name, q=0.5, low=-1e6, high=1e6, n_bins=32)
+    if name == "topk":
+        return get_aggregate(name, k=5)
+    return get_aggregate(name)
+
+
+def approx_equal(a, b) -> bool:
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(approx_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) or isinstance(b, float):
+        return math.isclose(float(a), float(b), rel_tol=1e-6, abs_tol=1e-6)
+    return a == b
+
+
+@pytest.mark.parametrize("name", available_aggregates())
+class TestMergeLaws:
+    @settings(max_examples=30)
+    @given(values=VALUES)
+    def test_commutative(self, name, values):
+        agg = make(name)
+        forward = agg.finalize(agg.merge_all([agg.lift(v) for v in values]))
+        backward = agg.finalize(agg.merge_all([agg.lift(v) for v in reversed(values)]))
+        assert approx_equal(forward, backward)
+
+    @settings(max_examples=30)
+    @given(values=VALUES, data=st.data())
+    def test_associative_random_split(self, name, values, data):
+        # Merge (left-block, right-block) equals flat merge.
+        agg = make(name)
+        split = data.draw(st.integers(min_value=0, max_value=len(values)))
+        flat = agg.merge_all([agg.lift(v) for v in values])
+        if 0 < split < len(values):
+            left = agg.merge_all([agg.lift(v) for v in values[:split]])
+            right = agg.merge_all([agg.lift(v) for v in values[split:]])
+            blocked = agg.merge(left, right)
+            assert approx_equal(agg.finalize(flat), agg.finalize(blocked))
+
+    @settings(max_examples=20)
+    @given(values=VALUES, data=st.data())
+    def test_tree_merge_matches_flat(self, name, values, data):
+        # Simulate an arbitrary binary merge tree via random pairwise folds.
+        agg = make(name)
+        states = [agg.lift(v) for v in values]
+        flat = agg.finalize(agg.merge_all(states))
+        pool = list(states)
+        while len(pool) > 1:
+            i = data.draw(st.integers(min_value=0, max_value=len(pool) - 2))
+            merged = agg.merge(pool[i], pool[i + 1])
+            pool[i : i + 2] = [merged]
+        assert approx_equal(flat, agg.finalize(pool[0]))
+
+
+class TestSemanticAnchors:
+    @settings(max_examples=30)
+    @given(values=VALUES)
+    def test_sum_and_count_and_avg_consistent(self, values):
+        total = get_aggregate("sum").aggregate(values)
+        count = get_aggregate("count").aggregate(values)
+        average = get_aggregate("avg").aggregate(values)
+        assert count == len(values)
+        assert math.isclose(average, total / count, rel_tol=1e-9, abs_tol=1e-6)
+
+    @settings(max_examples=30)
+    @given(values=VALUES)
+    def test_min_max_bound_everything(self, values):
+        lo = get_aggregate("min").aggregate(values)
+        hi = get_aggregate("max").aggregate(values)
+        assert lo <= hi
+        assert all(lo <= v <= hi for v in values)
+
+    @settings(max_examples=30)
+    @given(values=VALUES)
+    def test_histogram_mass_conservation(self, values):
+        hist = get_aggregate("histogram", low=-1e6, high=1e6, n_bins=7)
+        counts = hist.aggregate(values)
+        assert sum(counts) == len(values)
+
+    @settings(max_examples=30)
+    @given(values=VALUES)
+    def test_topk_is_sorted_prefix(self, values):
+        top = get_aggregate("topk", k=4).aggregate(values)
+        expected = tuple(sorted(values, reverse=True)[:4])
+        assert top == expected
+
+    @settings(max_examples=30)
+    @given(values=VALUES)
+    def test_std_nonnegative_and_zero_iff_constant(self, values):
+        std = get_aggregate("std").aggregate(values)
+        assert std >= 0
+        if len(set(values)) == 1:
+            assert std == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,70 @@
+"""Property-based tests for the finger limiting function g(x)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.limiting import FingerLimiter, ceil_log2_fraction, finger_limit
+
+POSITIVE_FRACTIONS = st.fractions(
+    min_value=Fraction(1, 10**6), max_value=Fraction(10**9)
+)
+
+
+class TestCeilLog2Fraction:
+    @given(POSITIVE_FRACTIONS)
+    def test_defining_inequality(self, value):
+        k = ceil_log2_fraction(value)
+        assert Fraction(2) ** k >= min(value, max(value, 1)) or value <= 1
+        if value > 1:
+            assert Fraction(2) ** k >= value
+            assert Fraction(2) ** (k - 1) < value
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_matches_integer_ceil_log2(self, exponent):
+        from repro.util.bits import ceil_log2
+
+        value = (1 << exponent) + 1
+        assert ceil_log2_fraction(Fraction(value)) == ceil_log2(value)
+
+
+class TestFingerLimit:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.fractions(min_value=Fraction(1, 4), max_value=Fraction(10**6)),
+    )
+    def test_non_negative(self, x, d0):
+        assert finger_limit(x, d0) >= 0
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.fractions(min_value=Fraction(1, 4), max_value=Fraction(100)),
+    )
+    def test_monotone_in_x(self, x, d0):
+        assert finger_limit(x, d0) <= finger_limit(x + 1, d0)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_limit_allows_progress(self, x):
+        # 2^{g(x)} >= (x+2)/3 > x/4 for d0=1: the allowed jump shrinks at
+        # most geometrically, so routes stay O(log) even when limited.
+        g = finger_limit(x, 1)
+        assert (1 << g) * 4 >= x
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_limit_never_reaches_past_root(self, x):
+        # The largest allowed finger offset never exceeds the distance to
+        # the root by more than the derivation's slack factor.
+        g = finger_limit(x, 1)
+        assert (1 << g) <= max(2 * (x + 2) // 3, 1)
+
+
+class TestFingerLimiterConsistency:
+    @given(
+        st.integers(min_value=4, max_value=24),
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_for_ring_matches_manual_fraction(self, bits, n, x):
+        limiter = FingerLimiter.for_ring(bits, n)
+        assert limiter(x) == finger_limit(x, Fraction(1 << bits, n))

@@ -1,0 +1,98 @@
+"""Property-based tests: MAAN resolution equals brute-force filtering.
+
+For any resource population and any range query, the DHT-resolved result
+must equal a straight scan over all resources — placement and arc-walk
+logic can't lose or duplicate anything.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.idgen import UniformIdAssigner
+from repro.chord.idspace import IdSpace
+from repro.maan.attrs import AttributeSchema, Resource
+from repro.maan.network import MaanNetwork
+from repro.maan.query import MultiAttributeQuery, RangeQuery
+
+SCHEMAS = {
+    "cpu": AttributeSchema("cpu", low=0.0, high=100.0),
+    "mem": AttributeSchema("mem", low=0.0, high=64.0),
+}
+
+
+@st.composite
+def populations(draw):
+    count = draw(st.integers(min_value=0, max_value=25))
+    resources = []
+    for index in range(count):
+        resources.append(
+            Resource(
+                f"r-{index}",
+                {
+                    "cpu": draw(
+                        st.floats(min_value=0, max_value=100, allow_nan=False)
+                    ),
+                    "mem": draw(
+                        st.floats(min_value=0, max_value=64, allow_nan=False)
+                    ),
+                },
+            )
+        )
+    return resources
+
+
+@st.composite
+def cpu_ranges(draw):
+    low = draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+    high = draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+    if high < low:
+        low, high = high, low
+    return RangeQuery("cpu", low, high)
+
+
+def build_network() -> MaanNetwork:
+    ring = UniformIdAssigner().build_ring(IdSpace(16), 24)
+    return MaanNetwork(ring, SCHEMAS)
+
+
+class TestResolutionEqualsBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(populations(), cpu_ranges())
+    def test_range_query_exact(self, resources, query):
+        network = build_network()
+        for resource in resources:
+            network.register(resource)
+        result = network.range_query(query)
+        expected = {r.resource_id for r in resources if query.matches(r)}
+        assert result.resource_ids() == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(populations(), cpu_ranges(), st.floats(min_value=0, max_value=64))
+    def test_multi_attribute_exact(self, resources, cpu_query, mem_low):
+        network = build_network()
+        for resource in resources:
+            network.register(resource)
+        query = MultiAttributeQuery.of(
+            cpu_query, RangeQuery("mem", mem_low, 64.0)
+        )
+        result = network.multi_attribute_query(query)
+        expected = {r.resource_id for r in resources if query.matches(r)}
+        assert result.resource_ids() == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(populations())
+    def test_deregistration_leaves_nothing(self, resources):
+        network = build_network()
+        for resource in resources:
+            network.register(resource)
+        for resource in resources:
+            network.deregister(resource)
+        assert network.total_records() == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(populations())
+    def test_record_count_invariant(self, resources):
+        network = build_network()
+        for resource in resources:
+            network.register(resource)
+        assert network.total_records() == len(resources) * len(SCHEMAS)

@@ -1,0 +1,80 @@
+"""Property-based protocol tests: stabilization converges from any join order.
+
+Bounded (small rings, few examples) because each case runs a discrete-event
+simulation; the property is the crucial one — the overlay the DAT layer
+reads always converges to the ideal ring regardless of membership order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.idspace import IdSpace
+from repro.chord.network import ChordNetwork
+from repro.chord.node import ChordConfig
+from repro.sim.latency import ConstantLatency
+from repro.sim.simnet import SimTransport
+
+
+@st.composite
+def join_sequences(draw):
+    space = IdSpace(10)
+    count = draw(st.integers(min_value=2, max_value=8))
+    idents = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=space.max_id),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return space, idents
+
+
+def build_network(space: IdSpace) -> ChordNetwork:
+    transport = SimTransport(latency=ConstantLatency(0.005))
+    config = ChordConfig(stabilize_interval=0.25, fix_fingers_interval=0.05)
+    return ChordNetwork(space, transport, config)
+
+
+class TestConvergenceProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(join_sequences())
+    def test_any_join_order_converges(self, args):
+        space, idents = args
+        network = build_network(space)
+        for ident in idents:
+            network.add_node(ident)
+            network.settle(1.0)
+        network.settle_until_converged()
+        assert network.is_converged()
+
+    @settings(max_examples=10, deadline=None)
+    @given(join_sequences(), st.data())
+    def test_converges_after_one_departure(self, args, data):
+        space, idents = args
+        if len(idents) < 3:
+            return
+        network = build_network(space)
+        for ident in idents:
+            network.add_node(ident)
+            network.settle(1.0)
+        network.settle_until_converged()
+        victim = data.draw(st.sampled_from(idents))
+        network.remove_node(victim, graceful=True)
+        network.settle_until_converged()
+        assert victim not in network.nodes
+        assert network.is_converged()
+
+    @settings(max_examples=10, deadline=None)
+    @given(join_sequences())
+    def test_fingers_reach_ideal(self, args):
+        space, idents = args
+        network = build_network(space)
+        for ident in idents:
+            network.add_node(ident)
+            network.settle(1.0)
+        network.settle_until_converged()
+        for node in network.nodes.values():
+            node.fix_all_fingers()
+        network.settle(10.0)
+        assert network.finger_convergence_fraction() == 1.0

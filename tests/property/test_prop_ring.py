@@ -1,0 +1,81 @@
+"""Property-based tests for ring invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.idspace import IdSpace
+from repro.chord.ring import StaticRing
+
+
+@st.composite
+def rings(draw, min_nodes: int = 1, max_nodes: int = 40):
+    bits = draw(st.integers(min_value=8, max_value=20))
+    space = IdSpace(bits)
+    count = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    idents = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=space.max_id),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return StaticRing(space, idents)
+
+
+class TestConsistentHashingLaws:
+    @given(rings(), st.data())
+    def test_successor_is_first_at_or_after(self, ring, data):
+        key = data.draw(st.integers(min_value=0, max_value=ring.space.max_id))
+        owner = ring.successor(key)
+        # No member lies strictly between key and owner (clockwise).
+        for node in ring:
+            assert not ring.space.in_open(node, key, owner) or owner == key
+
+    @given(rings(min_nodes=2))
+    def test_successor_predecessor_inverse(self, ring):
+        for node in ring:
+            assert ring.predecessor_of_node(ring.successor_of_node(node)) == node
+            assert ring.successor_of_node(ring.predecessor_of_node(node)) == node
+
+    @given(rings())
+    def test_successor_of_member_is_itself(self, ring):
+        for node in ring:
+            assert ring.successor(node) == node
+
+    @given(rings())
+    def test_gaps_partition_space(self, ring):
+        assert sum(ring.gaps().values()) == ring.space.size
+
+    @given(rings(min_nodes=2))
+    def test_walking_successors_visits_everyone_once(self, ring):
+        start = ring.nodes[0]
+        seen = [start]
+        current = start
+        for _ in range(len(ring) - 1):
+            current = ring.successor_of_node(current)
+            seen.append(current)
+        assert sorted(seen) == ring.nodes
+        assert ring.successor_of_node(current) == start
+
+
+class TestFingerLaws:
+    @given(rings())
+    def test_fingers_are_members_and_ordered(self, ring):
+        space = ring.space
+        for node in list(ring)[:10]:
+            entries = ring.finger_entries(node)
+            distances = [space.cw(node, entry) or space.size for entry in entries]
+            for entry in entries:
+                assert entry in ring
+            # Finger distance is non-decreasing in the slot index.
+            assert distances == sorted(distances)
+
+    @given(rings())
+    def test_finger_j_covers_offset(self, ring):
+        # Finger j is at clockwise distance >= 2^j (or the owner itself on
+        # a 1-ring).
+        space = ring.space
+        node = ring.nodes[0]
+        for j, entry in enumerate(ring.finger_entries(node)):
+            if entry != node:
+                assert space.cw(node, entry) >= 1 << j

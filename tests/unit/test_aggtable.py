@@ -1,0 +1,102 @@
+"""Unit tests for the per-node aggregation table."""
+
+import pytest
+
+from repro.core.aggregates import AverageAggregate, SumAggregate
+from repro.core.aggtable import AggregationEntry, AggregationMode, AggregationTable
+from repro.errors import AggregationError
+
+
+class TestAggregationEntry:
+    def make(self, expected=None) -> AggregationEntry:
+        return AggregationEntry(
+            key=42,
+            aggregate=SumAggregate(),
+            mode=AggregationMode.ON_DEMAND,
+            expected_children=frozenset(expected) if expected else None,
+        )
+
+    def test_local_and_children_merge(self):
+        entry = self.make()
+        entry.set_local(10.0)
+        entry.add_child_state(1, 5.0)
+        entry.add_child_state(2, 3.0)
+        assert entry.partial_state() == 18.0
+
+    def test_finalize(self):
+        entry = AggregationEntry(
+            key=1, aggregate=AverageAggregate(), mode=AggregationMode.ON_DEMAND
+        )
+        entry.set_local(4.0)
+        entry.add_child_state(9, (6.0, 1))
+        assert entry.finalize() == 5.0
+
+    def test_duplicate_child_replaces(self):
+        entry = self.make()
+        entry.set_local(0.0)
+        entry.add_child_state(1, 5.0)
+        entry.add_child_state(1, 7.0)  # retransmission
+        assert entry.partial_state() == 7.0
+
+    def test_stale_epoch_rejected(self):
+        entry = self.make()
+        entry.reset_round(epoch=3)
+        with pytest.raises(AggregationError):
+            entry.add_child_state(1, 5.0, epoch=2)
+
+    def test_completeness_with_expected_children(self):
+        entry = self.make(expected=[1, 2])
+        entry.set_local(0.0)
+        assert not entry.is_complete()
+        entry.add_child_state(1, 1.0)
+        assert not entry.is_complete()
+        entry.add_child_state(2, 1.0)
+        assert entry.is_complete()
+
+    def test_completeness_requires_local(self):
+        entry = self.make(expected=[])
+        assert not entry.is_complete()
+        entry.set_local(1.0)
+        assert entry.is_complete()
+
+    def test_reset_round_increments_epoch(self):
+        entry = self.make()
+        entry.set_local(1.0)
+        entry.reset_round()
+        assert entry.epoch == 1
+        assert entry.local_state is None
+        with pytest.raises(AggregationError):
+            entry.partial_state()
+
+
+class TestAggregationTable:
+    def test_open_get_close(self):
+        table = AggregationTable()
+        entry = table.open(7, SumAggregate())
+        assert table.get(7) is entry
+        assert table.has(7)
+        table.close(7)
+        assert not table.has(7)
+
+    def test_get_missing_raises(self):
+        with pytest.raises(AggregationError):
+            AggregationTable().get(1)
+
+    def test_close_idempotent(self):
+        table = AggregationTable()
+        table.close(99)  # no error
+
+    def test_multiple_trees_coexist(self):
+        # Fig. 6: one entry per active DAT tree.
+        table = AggregationTable()
+        table.open(1, SumAggregate())
+        table.open(2, AverageAggregate(), mode=AggregationMode.CONTINUOUS)
+        assert table.active_keys() == [1, 2]
+        assert len(table) == 2
+        assert 1 in table
+
+    def test_reopen_replaces(self):
+        table = AggregationTable()
+        first = table.open(1, SumAggregate())
+        second = table.open(1, SumAggregate())
+        assert table.get(1) is second and first is not second

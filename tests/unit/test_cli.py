@@ -1,0 +1,49 @@
+"""Unit tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_accepts_known_experiments(self):
+        args = build_parser().parse_args(["fig7", "--quick"])
+        assert args.experiments == ["fig7"]
+        assert args.quick
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig42"])
+
+    def test_all_keyword(self):
+        args = build_parser().parse_args(["all"])
+        assert args.experiments == ["all"]
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.nodes == 512 and args.seed == 2007 and not args.quick
+
+
+class TestExecution:
+    def test_each_experiment_produces_a_table(self, capsys):
+        # Quick mode keeps this fast; every registered experiment must run.
+        for name in sorted(EXPERIMENTS):
+            assert main([name, "--quick"]) == 0
+            out = capsys.readouterr().out
+            assert "---" in out or "—" in out, name
+
+    def test_all_runs_everything(self, capsys):
+        assert main(["all", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 7" in out
+        assert "Fig 8(a)" in out
+        assert "Fig 9" in out
+        assert "MAAN" in out
+        assert "Churn" in out
+
+    def test_seed_changes_output_deterministically(self, capsys):
+        main(["fig8a", "--quick", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig8a", "--quick", "--seed", "1"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        engine = SimulationEngine()
+        fired: list[str] = []
+        engine.schedule(2.0, lambda: fired.append("late"))
+        engine.schedule(1.0, lambda: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_insertion_order(self):
+        engine = SimulationEngine()
+        fired: list[int] = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: fired.append(i))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        engine = SimulationEngine()
+        seen: list[float] = []
+        engine.schedule(3.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.5]
+        assert engine.now == 3.5
+
+    def test_schedule_at_absolute(self):
+        engine = SimulationEngine()
+        engine.schedule_at(7.0, lambda: None)
+        engine.run()
+        assert engine.now == 7.0
+
+    def test_cannot_schedule_in_past(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule(-1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        fired: list[float] = []
+
+        def cascade():
+            fired.append(engine.now)
+            if len(fired) < 3:
+                engine.schedule(1.0, cascade)
+
+        engine.schedule(1.0, cascade)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = SimulationEngine()
+        fired: list[str] = []
+        event = engine.schedule(1.0, lambda: fired.append("no"))
+        engine.schedule(2.0, lambda: fired.append("yes"))
+        event.cancel()
+        engine.run()
+        assert fired == ["yes"]
+
+    def test_pending_excludes_cancelled(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        event.cancel()
+        assert engine.pending == 1
+
+
+class TestRunBounds:
+    def test_run_until(self):
+        engine = SimulationEngine()
+        fired: list[float] = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        engine.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_advances_clock_when_idle(self):
+        engine = SimulationEngine()
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+
+    def test_max_events_guard(self):
+        engine = SimulationEngine()
+
+        def loop():
+            engine.schedule(0.0, loop)
+
+        engine.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_reentrant_run_rejected(self):
+        engine = SimulationEngine()
+        failures: list[Exception] = []
+
+        def nested():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                failures.append(exc)
+
+        engine.schedule(1.0, nested)
+        engine.run()
+        assert len(failures) == 1
+
+    def test_step_and_counts(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False
+        assert engine.events_fired == 1
+
+    def test_clear(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.clear()
+        assert engine.pending == 0

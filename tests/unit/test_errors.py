@@ -1,0 +1,41 @@
+"""Unit tests for the exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_value_error_compatibility(self):
+        # Identifier and schema problems should be catchable as ValueError
+        # (idiomatic for argument validation).
+        assert issubclass(errors.IdentifierError, ValueError)
+        assert issubclass(errors.SchemaError, ValueError)
+
+    def test_key_error_compatibility(self):
+        assert issubclass(errors.UnknownNodeError, KeyError)
+        assert issubclass(errors.UnknownAggregateError, KeyError)
+
+    def test_timeout_compatibility(self):
+        assert issubclass(errors.RpcTimeoutError, TimeoutError)
+
+    def test_ring_errors_grouped(self):
+        for cls in (
+            errors.EmptyRingError,
+            errors.DuplicateNodeError,
+            errors.UnknownNodeError,
+        ):
+            assert issubclass(cls, errors.RingError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TreeError("boom")
+        with pytest.raises(errors.ReproError):
+            raise errors.QueryError("boom")

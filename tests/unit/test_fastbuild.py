@@ -1,0 +1,116 @@
+"""Equivalence tests: vectorized fast path vs scalar reference builders."""
+
+import numpy as np
+import pytest
+
+from repro.chord.fastbuild import (
+    FAST_PATH_MAX_BITS,
+    build_dat_fast,
+    fast_balanced_parents,
+    fast_basic_parents,
+    fast_finger_matrix,
+)
+from repro.chord.idgen import ProbingIdAssigner, RandomIdAssigner, UniformIdAssigner
+from repro.chord.idspace import IdSpace
+from repro.chord.ring import StaticRing
+from repro.core.builder import build_balanced_dat, build_basic_dat
+from repro.errors import TreeError
+
+
+RING_CASES = [
+    ("full4", IdSpace(4), lambda s: StaticRing(s, range(16))),
+    ("uniform", IdSpace(16), lambda s: UniformIdAssigner().build_ring(s, 64)),
+    ("random", IdSpace(32), lambda s: RandomIdAssigner().build_ring(s, 200, rng=3)),
+    ("probing", IdSpace(32), lambda s: ProbingIdAssigner().build_ring(s, 150, rng=4)),
+    ("sparse", IdSpace(20), lambda s: StaticRing(s, [5, 1000, 99999, 524287])),
+]
+
+
+@pytest.mark.parametrize("name,space,factory", RING_CASES)
+class TestEquivalence:
+    def test_finger_matrix_matches_scalar(self, name, space, factory):
+        ring = factory(space)
+        matrix = fast_finger_matrix(ring)
+        for i, node in enumerate(ring.nodes):
+            assert list(matrix[i]) == ring.finger_entries(node), node
+
+    def test_basic_parents_match(self, name, space, factory):
+        ring = factory(space)
+        for key in (0, space.size // 3, space.max_id):
+            scalar = build_basic_dat(ring, key).parent
+            assert fast_basic_parents(ring, key) == scalar, key
+
+    def test_balanced_parents_match(self, name, space, factory):
+        ring = factory(space)
+        for key in (0, space.size // 3, space.max_id):
+            scalar = build_balanced_dat(ring, key).parent
+            assert fast_balanced_parents(ring, key) == scalar, key
+
+    def test_build_dat_fast_trees_identical(self, name, space, factory):
+        ring = factory(space)
+        for scheme in ("basic", "balanced"):
+            fast = build_dat_fast(ring, 7 % space.size, scheme=scheme)
+            from repro.core.builder import build_dat
+
+            slow = build_dat(ring, 7 % space.size, scheme=scheme)
+            assert fast.root == slow.root
+            assert fast.parent == slow.parent
+
+
+class TestFallbacksAndLimits:
+    def test_wide_space_falls_back(self):
+        space = IdSpace(160)
+        ring = StaticRing(space, [1, 2**100, 2**150])
+        tree = build_dat_fast(ring, 5)
+        assert tree.n_nodes == 3  # scalar fallback worked
+
+    def test_direct_call_on_wide_space_rejected(self):
+        space = IdSpace(160)
+        ring = StaticRing(space, [1, 2**100])
+        with pytest.raises(TreeError):
+            fast_finger_matrix(ring)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(TreeError):
+            fast_finger_matrix(StaticRing(IdSpace(8)))
+
+    def test_single_node_fast_build(self):
+        ring = StaticRing(IdSpace(8), [42])
+        tree = build_dat_fast(ring, 0)
+        assert tree.root == 42 and tree.parent == {}
+
+    def test_max_bits_boundary(self):
+        space = IdSpace(FAST_PATH_MAX_BITS)
+        ring = RandomIdAssigner().build_ring(space, 50, rng=5)
+        scalar = build_balanced_dat(ring, 12345).parent
+        assert fast_balanced_parents(ring, 12345) == scalar
+
+
+class TestVectorizedCeilLog2:
+    def test_exact_on_powers_and_neighbors(self):
+        from repro.chord.fastbuild import _vectorized_ceil_log2
+        from repro.util.bits import ceil_log2
+
+        values = []
+        for k in range(1, 50):
+            values.extend([(1 << k) - 1, 1 << k, (1 << k) + 1])
+        arr = np.array(values, dtype=np.int64)
+        expected = np.array([ceil_log2(int(v)) for v in values])
+        assert np.array_equal(_vectorized_ceil_log2(arr), expected)
+
+
+class TestSpeedupSanity:
+    def test_fast_path_is_faster_at_scale(self):
+        import time
+
+        space = IdSpace(32)
+        ring = ProbingIdAssigner().build_ring(space, 4096, rng=9)
+        t0 = time.perf_counter()
+        fast = build_dat_fast(ring, 777, scheme="balanced")
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        slow = build_balanced_dat(ring, 777)
+        t_slow = time.perf_counter() - t0
+        assert fast.parent == slow.parent
+        # Generous bound: merely require the fast path not be slower.
+        assert t_fast <= t_slow * 1.5

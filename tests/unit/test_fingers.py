@@ -1,0 +1,115 @@
+"""Unit tests for finger tables."""
+
+import pytest
+
+from repro.chord.fingers import FingerTable
+from repro.chord.idspace import IdSpace
+from repro.errors import IdentifierError
+
+
+def table_for(space: IdSpace, owner: int, nodes: list[int]) -> FingerTable:
+    """Converged finger table for ``owner`` over the full node list."""
+    sorted_nodes = sorted(nodes)
+
+    def successor(key: int) -> int:
+        for node in sorted_nodes:
+            if node >= key:
+                return node
+        return sorted_nodes[0]
+
+    entries = [successor(space.wrap(owner + (1 << j))) for j in range(space.bits)]
+    return FingerTable(space=space, owner=owner, entries=entries)
+
+
+class TestConstruction:
+    def test_full_ring_fingers_of_n8(self):
+        # Paper Fig. 2: N8's fingers in the full 16-node ring are 9, 10, 12, 0.
+        space = IdSpace(4)
+        table = table_for(space, 8, list(range(16)))
+        assert table.entries == [9, 10, 12, 0]
+
+    def test_rejects_wrong_slot_count(self):
+        space = IdSpace(4)
+        with pytest.raises(IdentifierError):
+            FingerTable(space=space, owner=0, entries=[1, 2])
+
+    def test_rejects_invalid_entry(self):
+        space = IdSpace(4)
+        with pytest.raises(IdentifierError):
+            FingerTable(space=space, owner=0, entries=[1, 2, 4, 16])
+
+    def test_successor_is_slot_zero(self):
+        space = IdSpace(4)
+        table = table_for(space, 3, list(range(16)))
+        assert table.successor == 4
+
+
+class TestAccessors:
+    def test_finger_and_start(self):
+        space = IdSpace(4)
+        table = table_for(space, 8, list(range(16)))
+        assert table.finger(3) == 0
+        assert table.start(3) == 0  # 8 + 8 mod 16
+
+    def test_finger_rejects_bad_index(self):
+        space = IdSpace(4)
+        table = table_for(space, 8, list(range(16)))
+        with pytest.raises(IdentifierError):
+            table.finger(4)
+
+    def test_slots(self):
+        space = IdSpace(4)
+        table = table_for(space, 8, list(range(16)))
+        assert table.slots() == [(0, 9), (1, 10), (2, 12), (3, 0)]
+
+    def test_distinct_fingers_dedupes(self):
+        # Sparse ring: many slots share the same finger node.
+        space = IdSpace(4)
+        table = table_for(space, 0, [0, 8])
+        assert table.entries == [8, 8, 8, 8]
+        assert table.distinct_fingers() == [8]
+
+    def test_len(self):
+        space = IdSpace(4)
+        assert len(table_for(space, 0, list(range(16)))) == 4
+
+
+class TestClosestPreceding:
+    def test_basic_next_hop(self):
+        # From N1 toward key 0 the best finger is N9 (paper route 1->9->13->15->0).
+        space = IdSpace(4)
+        table = table_for(space, 1, list(range(16)))
+        assert table.closest_preceding(0) == 9
+
+    def test_finger_equal_to_target_qualifies(self):
+        # N8's +8 finger is exactly N0; toward root 0 it is chosen directly.
+        space = IdSpace(4)
+        table = table_for(space, 8, list(range(16)))
+        assert table.closest_preceding(0) == 0
+
+    def test_max_slot_restriction(self):
+        # Restricting N8 to slots <= 2 excludes the direct +8 jump to N0.
+        space = IdSpace(4)
+        table = table_for(space, 8, list(range(16)))
+        assert table.closest_preceding(0, max_slot=2) == 12
+
+    def test_returns_none_at_target(self):
+        space = IdSpace(4)
+        table = table_for(space, 8, list(range(16)))
+        assert table.closest_preceding(8) is None
+
+    def test_skips_self_entries(self):
+        # One-node ring: every finger is the owner; no progress possible.
+        space = IdSpace(4)
+        table = FingerTable(space=space, owner=5, entries=[5, 5, 5, 5])
+        assert table.closest_preceding(3) is None
+
+    def test_never_overshoots(self):
+        space = IdSpace(6)
+        nodes = [0, 7, 19, 23, 31, 40, 47, 55, 60]
+        for owner in nodes:
+            table = table_for(space, owner, nodes)
+            for key in range(space.size):
+                hop = table.closest_preceding(key)
+                if hop is not None:
+                    assert space.cw(owner, hop) <= space.cw(owner, key)

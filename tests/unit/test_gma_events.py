@@ -1,0 +1,41 @@
+"""Unit tests for monitoring events."""
+
+from repro.gma.events import MonitoringEvent
+
+
+class TestMonitoringEvent:
+    def test_fields(self):
+        event = MonitoringEvent(
+            timestamp=5.0, resource_id="host-1", attribute="cpu-usage", value=42.0
+        )
+        assert event.timestamp == 5.0
+        assert event.value == 42.0
+
+    def test_key_identity(self):
+        a = MonitoringEvent(1.0, "h", "cpu", 1.0)
+        b = MonitoringEvent(2.0, "h", "cpu", 9.0)
+        assert a.key() == b.key() == ("h", "cpu")
+
+    def test_frozen(self):
+        import pytest
+
+        event = MonitoringEvent(1.0, "h", "cpu", 1.0)
+        with pytest.raises(AttributeError):
+            event.value = 2.0  # type: ignore[misc]
+
+    def test_equality(self):
+        assert MonitoringEvent(1.0, "h", "cpu", 1.0) == MonitoringEvent(
+            1.0, "h", "cpu", 1.0
+        )
+
+    def test_usable_in_latest_value_table(self):
+        events = [
+            MonitoringEvent(1.0, "h", "cpu", 10.0),
+            MonitoringEvent(2.0, "h", "cpu", 20.0),
+            MonitoringEvent(1.5, "h", "mem", 4.0),
+        ]
+        latest: dict = {}
+        for event in sorted(events, key=lambda e: e.timestamp):
+            latest[event.key()] = event.value
+        assert latest[("h", "cpu")] == 20.0
+        assert latest[("h", "mem")] == 4.0

@@ -1,0 +1,94 @@
+"""Unit tests for CPU trace generation and replay."""
+
+import numpy as np
+import pytest
+
+from repro.gma.traces import CpuTrace, TraceGenerator
+
+
+class TestCpuTrace:
+    def make(self) -> CpuTrace:
+        return CpuTrace(values=np.array([10.0, 20.0, 30.0]), period=10.0)
+
+    def test_slots_and_duration(self):
+        trace = self.make()
+        assert trace.n_slots == 3
+        assert trace.duration == 30.0
+
+    def test_at_time(self):
+        trace = self.make()
+        assert trace.at_time(0.0) == 10.0
+        assert trace.at_time(9.99) == 10.0
+        assert trace.at_time(10.0) == 20.0
+        assert trace.at_time(25.0) == 30.0
+
+    def test_at_time_clamps(self):
+        trace = self.make()
+        assert trace.at_time(-5.0) == 10.0
+        assert trace.at_time(1000.0) == 30.0
+
+    def test_at_slot_clamps(self):
+        trace = self.make()
+        assert trace.at_slot(-1) == 10.0
+        assert trace.at_slot(99) == 30.0
+
+    def test_shifted_rolls(self):
+        shifted = self.make().shifted(1)
+        assert shifted.at_slot(0) == 30.0
+        assert shifted.at_slot(1) == 10.0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            CpuTrace(values=np.zeros((2, 2)), period=1.0)
+        with pytest.raises(ValueError):
+            CpuTrace(values=np.zeros(3), period=0.0)
+
+
+class TestTraceGenerator:
+    def test_paper_dimensions(self):
+        # 2 hours at 10 s resolution -> 720 slots.
+        gen = TraceGenerator(seed=1)
+        trace = gen.generate()
+        assert trace.n_slots == 720
+        assert trace.duration == pytest.approx(7200.0)
+
+    def test_values_bounded(self):
+        trace = TraceGenerator(seed=2).generate()
+        assert trace.values.min() >= 0.0
+        assert trace.values.max() <= 100.0
+
+    def test_deterministic(self):
+        a = TraceGenerator(seed=3).generate()
+        b = TraceGenerator(seed=3).generate()
+        assert np.array_equal(a.values, b.values)
+
+    def test_has_temporal_structure(self):
+        # AR(1) + envelope -> strong lag-1 autocorrelation, unlike white noise.
+        trace = TraceGenerator(seed=4).generate()
+        x = trace.values - trace.values.mean()
+        autocorr = float(np.dot(x[:-1], x[1:]) / np.dot(x, x))
+        assert autocorr > 0.5
+
+    def test_fleet_identical(self):
+        gen = TraceGenerator(seed=5)
+        traces = gen.generate_fleet(10, identical=True)
+        assert len(traces) == 10
+        assert all(t is traces[0] for t in traces)
+
+    def test_fleet_varied(self):
+        gen = TraceGenerator(seed=6)
+        traces = gen.generate_fleet(5, identical=False)
+        assert len({id(t) for t in traces}) == 5
+        assert not np.array_equal(traces[0].values, traces[1].values)
+
+    def test_fleet_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(seed=0).generate_fleet(0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(duration=0)
+        with pytest.raises(ValueError):
+            TraceGenerator(ar_coefficient=1.0)
+        with pytest.raises(ValueError):
+            TraceGenerator(burst_rate=2.0)

@@ -1,0 +1,73 @@
+"""Unit tests for the MAAN query model."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.maan.attrs import Resource
+from repro.maan.query import MultiAttributeQuery, QueryResult, RangeQuery
+
+
+class TestRangeQuery:
+    def test_rejects_inverted_range(self):
+        with pytest.raises(QueryError):
+            RangeQuery("cpu", 10, 5)
+
+    def test_point_query_allowed(self):
+        q = RangeQuery("cpu", 5, 5)
+        assert q.matches(Resource("a", {"cpu": 5.0}))
+
+    def test_matches(self):
+        q = RangeQuery("cpu", 2, 4)
+        assert q.matches(Resource("a", {"cpu": 3.0}))
+        assert not q.matches(Resource("a", {"cpu": 5.0}))
+        assert not q.matches(Resource("a", {"mem": 3.0}))
+
+    def test_selectivity(self):
+        q = RangeQuery("cpu", 25, 75)
+        assert q.selectivity(0, 100) == pytest.approx(0.5)
+
+    def test_selectivity_clips_to_domain(self):
+        q = RangeQuery("cpu", -50, 50)
+        assert q.selectivity(0, 100) == pytest.approx(0.5)
+
+    def test_selectivity_degenerate_domain(self):
+        with pytest.raises(QueryError):
+            RangeQuery("cpu", 0, 1).selectivity(5, 5)
+
+
+class TestMultiAttributeQuery:
+    def test_requires_sub_queries(self):
+        with pytest.raises(QueryError):
+            MultiAttributeQuery(sub_queries=())
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(QueryError):
+            MultiAttributeQuery.of(
+                RangeQuery("cpu", 0, 1), RangeQuery("cpu", 2, 3)
+            )
+
+    def test_conjunction_semantics(self):
+        q = MultiAttributeQuery.of(
+            RangeQuery("cpu", 0, 50), RangeQuery("mem", 2, 8)
+        )
+        assert q.matches(Resource("a", {"cpu": 25.0, "mem": 4.0}))
+        assert not q.matches(Resource("b", {"cpu": 75.0, "mem": 4.0}))
+        assert not q.matches(Resource("c", {"cpu": 25.0, "mem": 16.0}))
+
+    def test_attribute_names(self):
+        q = MultiAttributeQuery.of(
+            RangeQuery("cpu", 0, 1), RangeQuery("mem", 0, 1)
+        )
+        assert q.attribute_names() == ["cpu", "mem"]
+
+
+class TestQueryResult:
+    def test_total_hops(self):
+        result = QueryResult(lookup_hops=5, nodes_visited=3)
+        assert result.total_hops == 8
+
+    def test_resource_ids_dedup(self):
+        result = QueryResult(
+            resources=[Resource("a", {}), Resource("a", {}), Resource("b", {})]
+        )
+        assert result.resource_ids() == {"a", "b"}

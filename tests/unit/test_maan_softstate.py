@@ -1,0 +1,101 @@
+"""Unit tests for TTL-based soft-state registration."""
+
+import pytest
+
+from repro.chord.idgen import UniformIdAssigner
+from repro.chord.idspace import IdSpace
+from repro.errors import SchemaError
+from repro.maan.attrs import AttributeSchema, Resource
+from repro.maan.network import MaanNetwork
+from repro.maan.query import RangeQuery
+from repro.maan.softstate import SoftStateRegistry, SoftStateStore
+from repro.maan.store import ResourceStore
+
+
+def make_network() -> MaanNetwork:
+    space = IdSpace(20)
+    ring = UniformIdAssigner().build_ring(space, 32)
+    return MaanNetwork(
+        ring, {"cpu-usage": AttributeSchema("cpu-usage", low=0.0, high=100.0)}
+    )
+
+
+class TestSoftStateStore:
+    def test_expiry(self):
+        store = SoftStateStore(ResourceStore())
+        store.put("cpu", 5.0, Resource("a", {"cpu": 5.0}), now=0.0, ttl=10.0)
+        assert store.live_count(5.0) == 1
+        assert store.expired_count(15.0) == 1
+        assert store.sweep(15.0) == 1
+        assert store.store.count() == 0
+
+    def test_touch_extends(self):
+        store = SoftStateStore(ResourceStore())
+        store.put("cpu", 5.0, Resource("a", {"cpu": 5.0}), now=0.0, ttl=10.0)
+        assert store.touch("cpu", "a", now=8.0, ttl=10.0)
+        assert store.sweep(15.0) == 0
+        assert store.live_count(15.0) == 1
+
+    def test_touch_unknown(self):
+        store = SoftStateStore(ResourceStore())
+        assert not store.touch("cpu", "ghost", now=0.0, ttl=1.0)
+
+    def test_sweep_only_removes_expired(self):
+        store = SoftStateStore(ResourceStore())
+        store.put("cpu", 1.0, Resource("a", {"cpu": 1.0}), now=0.0, ttl=5.0)
+        store.put("cpu", 2.0, Resource("b", {"cpu": 2.0}), now=0.0, ttl=50.0)
+        assert store.sweep(10.0) == 1
+        assert store.store.count() == 1
+
+    def test_rejects_bad_ttl(self):
+        store = SoftStateStore(ResourceStore())
+        with pytest.raises(ValueError):
+            store.put("cpu", 1.0, Resource("a", {"cpu": 1.0}), now=0.0, ttl=0)
+
+
+class TestSoftStateRegistry:
+    def test_register_and_query(self):
+        network = make_network()
+        registry = SoftStateRegistry(network, default_ttl=30.0)
+        hops = registry.register(Resource("a", {"cpu-usage": 42.0}), now=0.0)
+        assert hops >= 0
+        result = network.range_query(RangeQuery("cpu-usage", 40.0, 45.0))
+        assert result.resource_ids() == {"a"}
+
+    def test_expired_records_leave_query_results(self):
+        network = make_network()
+        registry = SoftStateRegistry(network, default_ttl=10.0)
+        registry.register(Resource("a", {"cpu-usage": 42.0}), now=0.0)
+        registry.sweep(now=20.0)
+        result = network.range_query(RangeQuery("cpu-usage", 40.0, 45.0))
+        assert result.resources == []
+
+    def test_refresh_keeps_alive(self):
+        network = make_network()
+        registry = SoftStateRegistry(network, default_ttl=10.0)
+        resource = Resource("a", {"cpu-usage": 42.0})
+        registry.register(resource, now=0.0)
+        registry.refresh(resource, now=8.0)
+        assert registry.sweep(now=15.0) == 0
+        result = network.range_query(RangeQuery("cpu-usage", 40.0, 45.0))
+        assert result.resource_ids() == {"a"}
+
+    def test_report(self):
+        network = make_network()
+        registry = SoftStateRegistry(network, default_ttl=10.0)
+        registry.register(Resource("a", {"cpu-usage": 1.0}), now=0.0)
+        registry.register(Resource("b", {"cpu-usage": 2.0}), now=5.0)
+        report = registry.report(now=12.0)
+        assert report.live_records == 1
+        assert report.expired_records == 1
+        assert report.total_records == 2
+
+    def test_rejects_undeclared_only_resource(self):
+        network = make_network()
+        registry = SoftStateRegistry(network)
+        with pytest.raises(SchemaError):
+            registry.register(Resource("x", {"gpu": 1.0}), now=0.0)
+
+    def test_rejects_bad_default_ttl(self):
+        with pytest.raises(ValueError):
+            SoftStateRegistry(make_network(), default_ttl=0)

@@ -1,0 +1,79 @@
+"""Unit tests for the per-node resource store."""
+
+from repro.maan.attrs import Resource
+from repro.maan.store import ResourceStore
+
+
+def r(rid: str, **attrs) -> Resource:
+    return Resource(rid, attrs)
+
+
+class TestPutScan:
+    def test_scan_range(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        store.put("cpu", 3.0, r("b", cpu=3.0))
+        store.put("cpu", 9.0, r("c", cpu=9.0))
+        found = store.scan("cpu", 2.5, 5.0)
+        assert {x.resource_id for x in found} == {"b"}
+
+    def test_put_refreshes_value(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        store.put("cpu", 8.0, r("a", cpu=8.0))
+        assert store.count("cpu") == 1
+        assert [x.resource_id for x in store.scan("cpu", 7, 9)] == ["a"]
+
+    def test_scan_unknown_attribute(self):
+        assert ResourceStore().scan("nope", 0, 1) == []
+
+
+class TestRemoval:
+    def test_remove_record(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        assert store.remove("cpu", "a") is True
+        assert store.remove("cpu", "a") is False
+        assert store.count() == 0
+
+    def test_remove_resource_everywhere(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        store.put("mem", 4.0, r("a", mem=4.0))
+        store.put("cpu", 3.0, r("b", cpu=3.0))
+        assert store.remove_resource("a") == 2
+        assert store.count() == 1
+
+    def test_clear(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        store.clear()
+        assert store.count() == 0
+
+
+class TestIntrospection:
+    def test_counts(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        store.put("mem", 4.0, r("a", mem=4.0))
+        assert store.count() == 2
+        assert store.count("cpu") == 1
+        assert store.count("disk") == 0
+
+    def test_attributes_listing(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        store.put("mem", 4.0, r("b", mem=4.0))
+        store.remove("mem", "b")
+        assert list(store.attributes()) == ["cpu"]
+
+    def test_values_for_attribute(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        store.put("cpu", 5.0, r("b", cpu=5.0))
+        assert sorted(store.values_for_attribute("cpu")) == [2.0, 5.0]
+
+    def test_all_for_attribute(self):
+        store = ResourceStore()
+        store.put("cpu", 2.0, r("a", cpu=2.0))
+        assert [x.resource_id for x in store.all_for_attribute("cpu")] == ["a"]

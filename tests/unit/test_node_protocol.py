@@ -1,0 +1,170 @@
+"""Unit tests for the dynamic Chord protocol node."""
+
+import pytest
+
+from repro.chord.idspace import IdSpace
+from repro.chord.node import ChordConfig, ChordProtocolNode
+from repro.sim.latency import ConstantLatency
+from repro.sim.messages import Message
+from repro.sim.simnet import SimTransport
+
+
+def make_overlay(idents: list[int], bits: int = 8, settle: float = 60.0):
+    """Build a small overlay and let it stabilize."""
+    space = IdSpace(bits)
+    transport = SimTransport(latency=ConstantLatency(0.01))
+    config = ChordConfig(stabilize_interval=0.5, fix_fingers_interval=0.1)
+    nodes: dict[int, ChordProtocolNode] = {}
+    first = ChordProtocolNode(idents[0], space, transport, config)
+    first.create()
+    nodes[idents[0]] = first
+    for ident in idents[1:]:
+        node = ChordProtocolNode(ident, space, transport, config)
+        node.join(idents[0])
+        nodes[ident] = node
+        transport.run(until=transport.now() + 5.0)
+    transport.run(until=transport.now() + settle)
+    return space, transport, nodes
+
+
+class TestSingleNode:
+    def test_create_self_ring(self):
+        space = IdSpace(8)
+        transport = SimTransport()
+        node = ChordProtocolNode(42, space, transport)
+        node.create()
+        assert node.successor == 42
+        assert node.predecessor is None
+
+    def test_lookup_on_single_node_ring(self):
+        space = IdSpace(8)
+        transport = SimTransport()
+        node = ChordProtocolNode(42, space, transport)
+        node.create()
+        results: list[int] = []
+        node.lookup(100, lambda result, path: results.append(result))
+        transport.run(until=5.0)
+        assert results == [42]
+
+
+class TestStabilization:
+    def test_two_node_ring_converges(self):
+        _space, _transport, nodes = make_overlay([10, 200])
+        assert nodes[10].successor == 200
+        assert nodes[200].successor == 10
+        assert nodes[10].predecessor == 200
+        assert nodes[200].predecessor == 10
+
+    def test_five_node_ring_converges(self):
+        idents = [10, 60, 120, 180, 240]
+        _space, _transport, nodes = make_overlay(idents)
+        for i, ident in enumerate(idents):
+            expected_succ = idents[(i + 1) % len(idents)]
+            expected_pred = idents[i - 1]
+            assert nodes[ident].successor == expected_succ, ident
+            assert nodes[ident].predecessor == expected_pred, ident
+
+    def test_successor_lists_populated(self):
+        idents = [10, 60, 120, 180, 240]
+        _space, _transport, nodes = make_overlay(idents)
+        for node in nodes.values():
+            assert len(node.successor_list) >= 2
+
+    def test_fingers_converge(self):
+        idents = [10, 60, 120, 180, 240]
+        space, transport, nodes = make_overlay(idents)
+        from repro.chord.ring import StaticRing
+
+        ideal = StaticRing(space, idents)
+        for node in nodes.values():
+            node.fix_all_fingers()
+        transport.run(until=transport.now() + 10.0)
+        for ident, node in nodes.items():
+            assert node.finger_table().entries == ideal.finger_entries(ident), ident
+
+
+class TestLookup:
+    def test_lookup_resolves_successor(self):
+        idents = [10, 60, 120, 180, 240]
+        space, transport, nodes = make_overlay(idents)
+        for node in nodes.values():
+            node.fix_all_fingers()
+        transport.run(until=transport.now() + 10.0)
+
+        results: list[int] = []
+        nodes[10].lookup(119, lambda result, path: results.append(result))
+        transport.run(until=transport.now() + 5.0)
+        assert results == [120]
+
+    def test_lookup_own_key(self):
+        idents = [10, 200]
+        _space, transport, nodes = make_overlay(idents)
+        results: list[int] = []
+        nodes[10].lookup(10, lambda result, path: results.append(result))
+        transport.run(until=transport.now() + 5.0)
+        assert results == [10]
+
+    def test_lookup_path_recorded(self):
+        idents = [10, 60, 120, 180, 240]
+        space, transport, nodes = make_overlay(idents)
+        for node in nodes.values():
+            node.fix_all_fingers()
+        transport.run(until=transport.now() + 10.0)
+        paths: list[list[int]] = []
+        nodes[10].lookup(239, lambda result, path: paths.append(path))
+        transport.run(until=transport.now() + 5.0)
+        assert len(paths) == 1
+        assert paths[0][0] == 10  # starts at the origin
+
+
+class TestDepartures:
+    def test_graceful_leave_repairs_ring(self):
+        idents = [10, 60, 120]
+        _space, transport, nodes = make_overlay(idents)
+        nodes[60].leave()
+        transport.run(until=transport.now() + 30.0)
+        assert nodes[10].successor == 120
+        assert nodes[120].predecessor == 10
+
+    def test_crash_repaired_by_stabilization(self):
+        idents = [10, 60, 120, 180]
+        _space, transport, nodes = make_overlay(idents)
+        nodes[60].crash()
+        transport.run(until=transport.now() + 60.0)
+        assert nodes[10].successor == 120
+
+
+class TestUpcalls:
+    def test_custom_kind_dispatched(self):
+        space = IdSpace(8)
+        transport = SimTransport()
+        node = ChordProtocolNode(5, space, transport)
+        node.create()
+        seen: list[Message] = []
+        node.upcalls["custom"] = lambda m: seen.append(m) or None
+        transport.send(Message(kind="custom", source=99, destination=5))
+        transport.run(until=1.0)
+        assert len(seen) == 1
+
+    def test_unknown_kind_raises(self):
+        space = IdSpace(8)
+        transport = SimTransport()
+        node = ChordProtocolNode(5, space, transport)
+        node.create()
+        from repro.errors import RoutingError
+
+        with pytest.raises(RoutingError):
+            node._handle(Message(kind="bogus", source=1, destination=5))
+
+
+class TestProbeJoin:
+    def test_probe_returns_midpoint_of_largest_gap(self):
+        idents = [0, 128]
+        _space, transport, nodes = make_overlay(idents)
+        request = Message(kind="probe_join", source=0, destination=128, payload={})
+        reply = nodes[128]._handle(request)
+        designated = reply.payload["designated"]
+        # Largest visible interval is (0, 128] or (128, 0]; both split to
+        # a point far from the two existing nodes.
+        assert designated not in (0, 128)
+        assert 30 < designated % 256 < 230 or designated in (64, 192)

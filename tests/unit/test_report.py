@@ -1,0 +1,41 @@
+"""Unit tests for table rendering."""
+
+from repro.experiments.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table([{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_empty_rows(self):
+        assert "(empty)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 9}], columns=["a", "b"])
+        assert "9" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 3.14159}])
+        assert "3.142" in text
+
+    def test_float_trailing_zeros_trimmed(self):
+        text = format_table([{"x": 2.5}])
+        assert "2.5" in text and "2.500" not in text
+
+    def test_zero_renders(self):
+        assert "0" in format_table([{"x": 0.0}])

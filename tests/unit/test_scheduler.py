@@ -1,0 +1,87 @@
+"""Unit tests for the monitoring scheduler loop."""
+
+import pytest
+
+from repro.gma.monitor import GridMonitor, MonitorConfig
+from repro.gma.scheduler import MonitoringScheduler, WatchSpec
+from repro.gma.traces import TraceGenerator
+from repro.workloads.grids import default_schemas, make_producers
+
+
+@pytest.fixture
+def monitor() -> GridMonitor:
+    config = MonitorConfig(n_nodes=16, bits=20, seed=21)
+    monitor = GridMonitor(config, default_schemas())
+    traces = TraceGenerator(seed=21).generate_fleet(16, identical=False)
+    for producer in make_producers(monitor.ring, traces=traces, seed=21).values():
+        monitor.attach_producer(producer)
+    monitor.register_all()
+    return monitor
+
+
+class TestWatchSpec:
+    def test_rejects_bad_cadence(self):
+        with pytest.raises(ValueError):
+            WatchSpec(attribute="x", every_steps=0)
+
+
+class TestSchedulerLoop:
+    def test_history_accumulates(self, monitor):
+        scheduler = MonitoringScheduler(monitor, step=10.0)
+        scheduler.watch("cpu-usage", "sum")
+        scheduler.run_steps(5)
+        history = scheduler.history("cpu-usage", "sum")
+        assert len(history) == 5
+        assert [t for t, _v in history] == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_values_match_ground_truth(self, monitor):
+        scheduler = MonitoringScheduler(monitor, step=10.0)
+        scheduler.watch("cpu-usage", "sum")
+        scheduler.run_steps(3)
+        for t, value in scheduler.history("cpu-usage", "sum"):
+            assert value == pytest.approx(
+                monitor.actual_aggregate("cpu-usage", "sum", t=t)
+            )
+
+    def test_cadence_respected(self, monitor):
+        scheduler = MonitoringScheduler(monitor, step=10.0)
+        scheduler.watch("cpu-usage", "sum", every_steps=1)
+        scheduler.watch("cpu-usage", "max", every_steps=3)
+        scheduler.run_steps(6)
+        assert len(scheduler.history("cpu-usage", "sum")) == 6
+        assert len(scheduler.history("cpu-usage", "max")) == 2
+
+    def test_latest(self, monitor):
+        scheduler = MonitoringScheduler(monitor, step=10.0)
+        scheduler.watch("cpu-usage", "avg")
+        assert scheduler.latest("cpu-usage", "avg") is None
+        scheduler.run_steps(1)
+        assert scheduler.latest("cpu-usage", "avg") is not None
+
+    def test_refresh_keeps_index_consistent(self, monitor):
+        scheduler = MonitoringScheduler(monitor, step=10.0, refresh_every_steps=2)
+        scheduler.watch("cpu-usage", "count")
+        scheduler.run_steps(4)
+        assert scheduler.refresh_hops > 0
+        # Registrations moved with the changing values but never duplicated.
+        assert monitor.index.total_records() == 16 * 4
+
+    def test_refresh_disabled(self, monitor):
+        scheduler = MonitoringScheduler(monitor, step=10.0, refresh_every_steps=0)
+        scheduler.watch("cpu-usage", "count")
+        scheduler.run_steps(3)
+        assert scheduler.refresh_hops == 0
+
+    def test_unwatched_history_empty(self, monitor):
+        scheduler = MonitoringScheduler(monitor, step=10.0)
+        assert scheduler.history("disk-size") == []
+        assert scheduler.latest("disk-size") is None
+
+    def test_validation(self, monitor):
+        with pytest.raises(ValueError):
+            MonitoringScheduler(monitor, step=0)
+        with pytest.raises(ValueError):
+            MonitoringScheduler(monitor, refresh_every_steps=-1)
+        scheduler = MonitoringScheduler(monitor)
+        with pytest.raises(ValueError):
+            scheduler.run_steps(-1)

@@ -1,0 +1,73 @@
+"""Unit tests for per-node message accounting."""
+
+from repro.sim.stats import MessageStats
+
+
+class TestMessageStats:
+    def test_counts(self):
+        stats = MessageStats()
+        stats.record_send(1, 100)
+        stats.record_send(1, 50)
+        stats.record_receive(2, 100)
+        load1 = stats.load(1)
+        assert load1.sent == 2 and load1.bytes_sent == 150
+        assert stats.load(2).received == 1
+        assert stats.load(2).bytes_received == 100
+
+    def test_total_property(self):
+        stats = MessageStats()
+        stats.record_send(1)
+        stats.record_receive(1)
+        assert stats.load(1).total == 2
+
+    def test_unknown_node_zeros(self):
+        assert MessageStats().load(99).total == 0
+
+    def test_nodes_set(self):
+        stats = MessageStats()
+        stats.record_send(1)
+        stats.record_receive(2)
+        assert stats.nodes() == {1, 2}
+
+    def test_total_messages_counts_sends(self):
+        stats = MessageStats()
+        stats.record_send(1)
+        stats.record_send(2)
+        stats.record_receive(3)
+        assert stats.total_messages() == 2
+
+    def test_loads_includes_idle_nodes(self):
+        stats = MessageStats()
+        stats.record_send(1)
+        loads = stats.loads(nodes=[1, 2, 3])
+        assert loads == {1: 1, 2: 0, 3: 0}
+
+    def test_by_kind(self):
+        stats = MessageStats()
+        stats.record_send(1, kind="lookup")
+        stats.record_send(1, kind="lookup")
+        stats.record_send(2, kind="notify")
+        assert stats.by_kind() == {"lookup": 2, "notify": 1}
+
+    def test_reset(self):
+        stats = MessageStats()
+        stats.record_send(1, 10, kind="x")
+        stats.reset()
+        assert stats.total_messages() == 0
+        assert stats.by_kind() == {}
+
+    def test_thread_safety_smoke(self):
+        import threading
+
+        stats = MessageStats()
+
+        def hammer():
+            for _ in range(1000):
+                stats.record_send(7, 1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.load(7).sent == 4000

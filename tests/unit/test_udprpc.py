@@ -1,0 +1,136 @@
+"""Unit tests for the real-socket UDP RPC transport.
+
+These exchange datagrams over 127.0.0.1 and use short real-time waits; they
+are kept small and deterministic (single transport, few messages).
+"""
+
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.sim.messages import Message
+from repro.sim.udprpc import UdpRpcTransport
+
+
+def wait_until(predicate, timeout=3.0, interval=0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def transport():
+    with UdpRpcTransport() as t:
+        yield t
+
+
+class TestDelivery:
+    def test_send_between_local_nodes(self, transport):
+        received: list[Message] = []
+        transport.register(1, lambda m: None)
+        transport.register(2, lambda m: received.append(m) or None)
+        transport.send(Message(kind="hi", source=1, destination=2, payload={"v": 7}))
+        assert wait_until(lambda: len(received) == 1)
+        assert received[0].payload == {"v": 7}
+
+    def test_unknown_destination_dropped(self, transport):
+        transport.register(1, lambda m: None)
+        transport.send(Message(kind="hi", source=1, destination=42))
+        time.sleep(0.05)  # nothing to assert beyond "no crash"
+
+    def test_rpc_roundtrip(self, transport):
+        transport.register(1, lambda m: None)
+        transport.register(2, lambda m: m.response(double=m.payload["x"] * 2))
+        replies: list[int] = []
+        transport.call(
+            Message(kind="calc", source=1, destination=2, payload={"x": 21}),
+            lambda reply: replies.append(reply.payload["double"]),
+            timeout=3.0,
+        )
+        assert wait_until(lambda: replies == [42])
+
+    def test_rpc_timeout(self, transport):
+        transport.register(1, lambda m: None)
+        timeouts: list[Message] = []
+        transport.call(
+            Message(kind="calc", source=1, destination=99),
+            lambda reply: pytest.fail("no reply expected"),
+            on_timeout=timeouts.append,
+            timeout=0.2,
+        )
+        assert wait_until(lambda: len(timeouts) == 1)
+
+    def test_handler_exception_does_not_kill_loop(self, transport):
+        received: list[Message] = []
+
+        def bad_handler(message: Message):
+            raise RuntimeError("handler bug")
+
+        transport.register(1, lambda m: None)
+        transport.register(2, bad_handler)
+        transport.register(3, lambda m: received.append(m) or None)
+        transport.send(Message(kind="x", source=1, destination=2))
+        transport.send(Message(kind="x", source=1, destination=3))
+        assert wait_until(lambda: len(received) == 1)
+
+
+class TestRouting:
+    def test_address_of_local(self, transport):
+        transport.register(5, lambda m: None)
+        host, port = transport.address_of(5)
+        assert host == "127.0.0.1" and port > 0
+
+    def test_address_of_unknown_raises(self, transport):
+        with pytest.raises(TransportError):
+            transport.address_of(77)
+
+    def test_cross_transport_route(self):
+        # Two transports = two independent "machines" on localhost.
+        with UdpRpcTransport() as a, UdpRpcTransport() as b:
+            received: list[Message] = []
+            a.register(1, lambda m: None)
+            b.register(2, lambda m: received.append(m) or None)
+            host, port = b.address_of(2)
+            a.add_route(2, host, port)
+            a.send(Message(kind="x", source=1, destination=2))
+            assert wait_until(lambda: len(received) == 1)
+
+    def test_unregister_closes_socket(self, transport):
+        transport.register(9, lambda m: None)
+        transport.unregister(9)
+        with pytest.raises(TransportError):
+            transport.address_of(9)
+
+
+class TestLifecycle:
+    def test_close_idempotent(self):
+        transport = UdpRpcTransport()
+        transport.register(1, lambda m: None)
+        transport.close()
+        transport.close()
+
+    def test_register_after_close_rejected(self):
+        transport = UdpRpcTransport()
+        transport.close()
+        with pytest.raises(TransportError):
+            transport.register(1, lambda m: None)
+
+    def test_oversized_datagram_rejected(self, transport):
+        transport.register(1, lambda m: None)
+        transport.register(2, lambda m: None)
+        huge = Message(
+            kind="x", source=1, destination=2, payload={"blob": "a" * 70000}
+        )
+        with pytest.raises(TransportError):
+            transport.send(huge)
+
+    def test_timer_schedule_and_cancel(self, transport):
+        fired: list[int] = []
+        cancel = transport.schedule(0.05, lambda: fired.append(1))
+        cancel()
+        transport.schedule(0.05, lambda: fired.append(2))
+        assert wait_until(lambda: fired == [2])

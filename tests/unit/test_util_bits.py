@@ -1,0 +1,96 @@
+"""Unit tests for exact bit math."""
+
+import pytest
+
+from repro.util.bits import (
+    ceil_div,
+    ceil_log2,
+    floor_log2,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestFloorLog2:
+    def test_powers_of_two(self):
+        for k in range(0, 64):
+            assert floor_log2(1 << k) == k
+
+    def test_between_powers(self):
+        assert floor_log2(3) == 1
+        assert floor_log2(5) == 2
+        assert floor_log2(1023) == 9
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            floor_log2(0)
+        with pytest.raises(ValueError):
+            floor_log2(-4)
+
+
+class TestCeilLog2:
+    def test_powers_of_two_are_exact(self):
+        for k in range(0, 64):
+            assert ceil_log2(1 << k) == k
+
+    def test_rounds_up_between_powers(self):
+        assert ceil_log2(3) == 2
+        assert ceil_log2(5) == 3
+        assert ceil_log2(1025) == 11
+
+    def test_one(self):
+        assert ceil_log2(1) == 0
+
+    def test_large_values_no_float_error(self):
+        # 2^100 + 1 would misround through math.log2.
+        assert ceil_log2((1 << 100) + 1) == 101
+        assert ceil_log2(1 << 100) == 100
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(1 << k) for k in range(40))
+
+    def test_non_powers(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-8)
+        assert not is_power_of_two(6)
+
+
+class TestNextPowerOfTwo:
+    def test_exact_power_unchanged(self):
+        assert next_power_of_two(8) == 8
+
+    def test_rounds_up(self):
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(9) == 16
+
+    def test_one(self):
+        assert next_power_of_two(1) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(7, 3) == 3
+        assert ceil_div(1, 100) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 3)
