@@ -26,7 +26,11 @@ Quickstart::
     for producer in make_producers(monitor.ring, seed=7).values():
         monitor.attach_producer(producer)
     monitor.register_all()
-    print(monitor.consumer().global_aggregate("cpu-usage", "avg"))
+    cpu_avg = monitor.consumer().global_aggregate("cpu-usage", "avg")
+
+Library modules never write to stdout (enforced by datlint's DAT004);
+diagnostics flow through the ``repro`` logging tree — see
+:func:`repro.sim.tracing.get_logger`.
 """
 
 from repro.chord import IdSpace, StaticRing, sha1_id, make_assigner

@@ -31,8 +31,11 @@ from repro.chord.idgen import (
 from repro.chord.broadcast import BroadcastService, broadcast_tree
 from repro.chord.fastbuild import build_dat_fast
 from repro.chord.fof import FofCache, FofMaintainer
+from repro.chord.host import ChordHost, FingeredHost
 
 __all__ = [
+    "ChordHost",
+    "FingeredHost",
     "IdSpace",
     "sha1_id",
     "LocalityPreservingHash",

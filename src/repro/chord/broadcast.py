@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.chord.fingers import FingerTable
+from repro.chord.host import ChordHost
 from repro.chord.ring import StaticRing
 from repro.core.tree import DatTree
 from repro.sim.messages import Message
@@ -115,7 +116,7 @@ class BroadcastService:
 
     def __init__(
         self,
-        host,
+        host: ChordHost,
         finger_provider: Callable[[], FingerTable],
         on_deliver: Callable[[int, Any], None] | None = None,
     ) -> None:

@@ -77,7 +77,9 @@ def _vectorized_ceil_log2(values: np.ndarray) -> np.ndarray:
     """
     mantissa, exponent = np.frexp(values.astype(np.float64))
     result = exponent.astype(np.int64)
-    result[mantissa == 0.5] -= 1
+    # frexp mantissae are exact binary fractions, so 0.5 is representable
+    # and the power-of-two test is safe as an exact comparison.
+    result[mantissa == 0.5] -= 1  # datlint: disable=DAT003
     return np.maximum(result, 0)
 
 

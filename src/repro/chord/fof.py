@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.chord.fingers import FingerTable
+from repro.chord.host import FingeredHost
 from repro.chord.idspace import IdSpace
 from repro.sim.messages import Message
 
@@ -83,7 +84,7 @@ class FofMaintainer:
         Seconds between refreshes of one finger's table (round-robin).
     """
 
-    def __init__(self, host, interval: float = 1.0) -> None:
+    def __init__(self, host: FingeredHost, interval: float = 1.0) -> None:
         self.host = host
         self.interval = interval
         self.cache = FofCache(space=host.space)

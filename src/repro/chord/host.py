@@ -1,0 +1,38 @@
+"""Structural types for objects that host protocol services.
+
+The broadcast, finger-cache, and DAT-service layers are written against a
+*duck-typed* host (historically "an object with ``ident``, ``space``,
+``transport``, ``upcalls``").  These :class:`~typing.Protocol` classes make
+that contract explicit so the layers type-check strictly while static test
+hosts keep working without inheriting anything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.chord.fingers import FingerTable
+from repro.chord.idspace import IdSpace
+from repro.sim.messages import Message
+from repro.sim.transport import Transport
+
+__all__ = ["ChordHost", "FingeredHost"]
+
+_Upcall = Callable[[Message], Optional[Message]]
+
+
+class ChordHost(Protocol):
+    """Minimal surface a node must expose to host a protocol service."""
+
+    ident: int
+    space: IdSpace
+    transport: Transport
+    upcalls: dict[str, _Upcall]
+
+
+class FingeredHost(ChordHost, Protocol):
+    """A host that can additionally report its live finger table."""
+
+    def finger_table(self) -> FingerTable:
+        """The node's current finger table."""
+        ...

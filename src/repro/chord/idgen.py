@@ -17,6 +17,7 @@ membership.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 
@@ -148,7 +149,7 @@ _ASSIGNERS: dict[str, type[IdAssigner]] = {
 }
 
 
-def make_assigner(name: str, **kwargs) -> IdAssigner:
+def make_assigner(name: str, **kwargs: Any) -> IdAssigner:
     """Instantiate an assigner by registry name (``random``/``uniform``/``probing``)."""
     try:
         cls = _ASSIGNERS[name]

@@ -14,6 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.chord.fingers import FingerTable
 from repro.chord.idspace import IdSpace
 from repro.chord.node import ChordConfig, ChordProtocolNode
 from repro.chord.ring import StaticRing
@@ -217,7 +218,7 @@ class ChordNetwork:
             correct += sum(1 for e, a in zip(expected, actual) if e == a)
         return correct / total if total else 1.0
 
-    def snapshot_finger_tables(self):
+    def snapshot_finger_tables(self) -> dict[int, FingerTable]:
         """Live finger tables of every node (as the DAT layer sees them)."""
         return {ident: node.finger_table() for ident, node in self.nodes.items()}
 

@@ -27,6 +27,7 @@ from typing import Any, Callable
 from repro.chord.fingers import FingerTable
 from repro.chord.idspace import IdSpace
 from repro.errors import RoutingError
+from repro.util.bits import cyclic_increment
 from repro.sim.messages import Message
 from repro.sim.transport import Transport
 
@@ -539,7 +540,7 @@ class ChordProtocolNode:
         detect, and the slot could never heal.
         """
         j = self._next_finger
-        self._next_finger = (self._next_finger + 1) % self.space.bits
+        self._next_finger = cyclic_increment(self._next_finger, self.space.bits)
         start = self.space.finger_start(self.ident, j)
 
         def update(result: int, _path: list[int]) -> None:

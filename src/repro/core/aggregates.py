@@ -333,7 +333,7 @@ for _cls in (
     register_aggregate(_cls)
 
 
-def get_aggregate(name: str, **kwargs) -> Aggregate:
+def get_aggregate(name: str, **kwargs: Any) -> Aggregate:
     """Instantiate a registered aggregate by name.
 
     >>> get_aggregate("sum").aggregate([1, 2, 3])

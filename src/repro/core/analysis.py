@@ -17,6 +17,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Mapping
 
+from repro.chord.idspace import IdSpace
 from repro.core.tree import DatTree
 from repro.util.bits import ceil_log2, is_power_of_two
 
@@ -161,11 +162,11 @@ def compare_measured_to_theory(tree: DatTree, bits: int) -> dict[int, tuple[int,
     ``B(i, n)`` closed form node by node.
     """
     n = tree.n_nodes
-    size = 1 << bits
+    space = IdSpace(bits)
     factors = tree.branching_factors()
     out: dict[int, tuple[int, int]] = {}
     for node, measured in factors.items():
-        distance = (tree.root - node) % size
+        distance = space.cw(node, tree.root)
         predicted = theoretical_basic_branching(distance, n, bits)
         out[node] = (measured, predicted)
     return out
@@ -178,11 +179,11 @@ def compare_depths_to_theory(tree: DatTree, bits: int) -> dict[int, tuple[int, i
     an exactly evenly spaced, power-of-two basic DAT.
     """
     n = tree.n_nodes
-    size = 1 << bits
+    space = IdSpace(bits)
     depths = tree.depths()
     out: dict[int, tuple[int, int]] = {}
     for node, measured in depths.items():
-        distance = (tree.root - node) % size
+        distance = space.cw(node, tree.root)
         predicted = theoretical_basic_depth(distance, n, bits)
         out[node] = (measured, predicted)
     return out

@@ -130,7 +130,9 @@ class DatTreeBuilder:
     finger tables; only the per-node parent scan differs per key.
     """
 
-    def __init__(self, ring: StaticRing, scheme: DatScheme | str = DatScheme.BALANCED):
+    def __init__(
+        self, ring: StaticRing, scheme: DatScheme | str = DatScheme.BALANCED
+    ) -> None:
         self.ring = ring
         self.scheme = DatScheme(scheme)
         self._tables: dict[int, FingerTable] | None = None

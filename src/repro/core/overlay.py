@@ -10,7 +10,7 @@ simulations.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.chord.idspace import IdSpace
 from repro.chord.network import ChordNetwork
@@ -135,7 +135,7 @@ class DatOverlay:
         """``successor(key)`` under the live membership."""
         return self.network.ideal_ring().successor(key)
 
-    def root_estimate(self, key: int):
+    def root_estimate(self, key: int) -> Any:
         """The current root's latest estimate (None before convergence)."""
         root = self.current_root(key)
         service = self.services.get(root)

@@ -27,9 +27,10 @@ Message kinds: ``agg_push`` (continuous upward push), ``agg_collect``
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, cast
 
 from repro.chord.fingers import FingerTable
+from repro.chord.host import ChordHost
 from repro.chord.idspace import IdSpace
 from repro.core.aggregates import Aggregate, get_aggregate
 from repro.core.limiting import FingerLimiter
@@ -53,7 +54,7 @@ class StandaloneDatHost:
         self.ident = ident
         self.space = space
         self.transport = transport
-        self.upcalls: dict[int | str, Callable[[Message], Message | None]] = {}
+        self.upcalls: dict[str, Callable[[Message], Message | None]] = {}
         transport.register(ident, self._handle)
 
     def _handle(self, message: Message) -> Message | None:
@@ -148,7 +149,7 @@ class DatNodeService:
 
     def __init__(
         self,
-        host,
+        host: ChordHost,
         finger_provider: Callable[[], FingerTable],
         value_provider: Callable[[], float],
         scheme: str = "balanced",
@@ -172,7 +173,10 @@ class DatNodeService:
         # automatically; static hosts fall back to the root hint passed to
         # start_continuous.
         if predecessor_provider is None and hasattr(host, "predecessor"):
-            predecessor_provider = lambda: host.predecessor  # noqa: E731
+            def _host_predecessor() -> int | None:
+                return cast("int | None", getattr(host, "predecessor"))
+
+            predecessor_provider = _host_predecessor
         self.predecessor_provider = predecessor_provider
         self._continuous: dict[int, _ContinuousState] = {}
         self._rounds: dict[tuple[int, int], OnDemandRound] = {}
@@ -190,6 +194,11 @@ class DatNodeService:
     def ident(self) -> int:
         return self.host.ident
 
+    def _gap_estimate(self) -> float:
+        """Current ``d0`` for the limiting function (balanced scheme only)."""
+        assert self.d0_provider is not None  # enforced by __init__ for balanced
+        return self.d0_provider()
+
     def parent_for(self, root: int) -> int | None:
         """This node's parent in the DAT rooted at ``root``.
 
@@ -203,7 +212,7 @@ class DatNodeService:
         try:
             if self.scheme == "basic":
                 return select_parent_basic(table, root)
-            limiter = FingerLimiter.for_gap(self.d0_provider())  # type: ignore[misc]
+            limiter = FingerLimiter.for_gap(self._gap_estimate())
             return select_parent_balanced(table, root, limiter)
         except TreeError:
             return None
@@ -236,7 +245,7 @@ class DatNodeService:
         space = table.space
         if self.scheme == "balanced":
             x = space.cw(self.ident, key)
-            limiter = FingerLimiter.for_gap(self.d0_provider())  # type: ignore[misc]
+            limiter = FingerLimiter.for_gap(self._gap_estimate())
             max_slot = limiter(x)
         else:
             max_slot = None

@@ -1,0 +1,9 @@
+"""Developer tooling that ships with the reproduction.
+
+:mod:`repro.devtools.datlint` — the project's own AST-based static-analysis
+pass.  It enforces the invariants the paper's claims rest on (deterministic
+seeding, id-space arithmetic through :class:`~repro.chord.idspace.IdSpace`,
+non-blocking sim handlers) that generic linters cannot know about.
+"""
+
+__all__ = ["datlint"]

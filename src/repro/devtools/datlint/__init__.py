@@ -1,0 +1,32 @@
+"""datlint — the reproduction's own static-analysis pass.
+
+An AST linter (stdlib-only) enforcing the invariants the paper's results
+depend on; see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
+paper-level rationale behind each rule.
+
+Programmatic use::
+
+    from repro.devtools.datlint import lint_paths
+    report = lint_paths([Path("src")])
+    assert report.exit_code == 0, report.diagnostics
+
+Command line::
+
+    python -m repro.devtools.datlint src/ [--format=json] [--select=DAT001]
+"""
+
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, all_rules, register
+from repro.devtools.datlint.runner import LintReport, lint_file, lint_paths
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "register",
+    "lint_file",
+    "lint_paths",
+]

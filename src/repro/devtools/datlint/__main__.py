@@ -1,0 +1,13 @@
+"""Entry point for ``python -m repro.devtools.datlint``."""
+
+import sys
+
+from repro.devtools.datlint.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; that is
+        # not a lint failure.
+        sys.exit(0)

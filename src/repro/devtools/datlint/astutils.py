@@ -1,0 +1,44 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "call_dotted", "chain_segments"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"`` (else ``None``).
+
+    Chains rooted in anything other than a plain name (calls, subscripts)
+    yield ``None`` — rules match on syntactic chains only.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_dotted(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee (``None`` for computed callees)."""
+    return dotted_name(node.func)
+
+
+def chain_segments(node: ast.expr) -> list[str]:
+    """All identifier segments of a ``Name``/``Attribute`` chain, outermost
+    last (``self.space.size`` -> ``["self", "space", "size"]``); best-effort
+    for chains rooted in calls/subscripts (root segments are dropped).
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    return list(reversed(parts))

@@ -1,0 +1,118 @@
+"""The ``python -m repro.devtools.datlint`` command line.
+
+Exit codes: 0 clean, 1 diagnostics found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.datlint.registry import all_rules, rule_codes
+from repro.devtools.datlint.runner import lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.datlint",
+        description=(
+            "Project-specific static analysis: determinism (DAT001), "
+            "id-space hygiene (DAT002), float equality (DAT003), library "
+            "print (DAT004), blocking calls (DAT005), mutable defaults "
+            "(DAT006), except hygiene (DAT007)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (directories recurse into *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _resolve_rule_codes(
+    parser: argparse.ArgumentParser, select: str | None, ignore: str | None
+) -> list[str]:
+    known = rule_codes()
+    chosen = known
+    if select:
+        chosen = [code.strip().upper() for code in select.split(",") if code.strip()]
+    if ignore:
+        ignored = {code.strip().upper() for code in ignore.split(",")}
+        chosen = [code for code in chosen if code not in ignored]
+    unknown = sorted(set(chosen) - set(known))
+    if unknown:
+        parser.error(f"unknown rule code(s): {', '.join(unknown)}")
+    return chosen
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.devtools.datlint src/)")
+
+    missing = [str(path) for path in args.paths if not path.exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+
+    codes = _resolve_rule_codes(parser, args.select, args.ignore)
+    rules = [rule for rule in all_rules() if rule.code in codes]
+    report = lint_paths(args.paths, rules=rules)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": report.files_checked,
+                    "suppressed": report.suppressed,
+                    "diagnostics": [d.to_json() for d in report.diagnostics],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic.format())
+        summary = (
+            f"datlint: {report.files_checked} file(s) checked, "
+            f"{len(report.diagnostics)} finding(s), "
+            f"{report.suppressed} suppressed"
+        )
+        print(summary, file=sys.stderr)
+
+    return report.exit_code

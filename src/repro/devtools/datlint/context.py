@@ -1,0 +1,141 @@
+"""Per-file analysis context shared by every rule.
+
+A :class:`FileContext` bundles the parsed AST, the dotted module name (so
+rules can exempt e.g. :mod:`repro.util.rng`), and the suppression table
+parsed from ``# datlint: disable=...`` comments.
+
+Suppression grammar
+-------------------
+``# datlint: disable=DAT001`` or ``# datlint: disable=DAT001,DAT004`` or
+``# datlint: disable=all``.
+
+* On a line of its own (only whitespace before the ``#``), the comment
+  suppresses the listed rules for the **whole file**.
+* Trailing a statement, it suppresses the listed rules on that **line** only.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FileContext", "parse_suppressions", "module_name_for"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*datlint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Walks the path components for the last ``repro`` segment and joins from
+    there (``src/repro/chord/node.py`` -> ``repro.chord.node``); a file
+    outside any ``repro`` tree is identified by its stem alone, which makes
+    every module-scoped exemption inapplicable — the strictest default.
+    """
+    parts = list(path.resolve().parts)
+    if "repro" in parts:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = [p for p in parts[start:]]
+        dotted[-1] = Path(dotted[-1]).stem
+        if dotted[-1] == "__init__":
+            dotted = dotted[:-1]
+        return ".".join(dotted)
+    return path.stem
+
+
+@dataclass
+class _SuppressionTable:
+    """Which rules are off for the file / for individual lines."""
+
+    file_level: set[str] = field(default_factory=set)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    suppress_all_file: bool = False
+    all_lines: set[int] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if self.suppress_all_file or rule in self.file_level:
+            return True
+        if line in self.all_lines:
+            return True
+        return rule in self.by_line.get(line, set())
+
+
+def parse_suppressions(source: str) -> _SuppressionTable:
+    """Extract the suppression table from ``# datlint: disable=...`` comments."""
+    table = _SuppressionTable()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return table
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        }
+        row, col = token.start
+        line_text = lines[row - 1] if row - 1 < len(lines) else ""
+        standalone = line_text[:col].strip() == ""
+        if "ALL" in codes:
+            if standalone:
+                table.suppress_all_file = True
+            else:
+                table.all_lines.add(row)
+            codes = codes - {"ALL"}
+        if standalone:
+            table.file_level |= codes
+        else:
+            table.by_line.setdefault(row, set()).update(codes)
+    return table
+
+
+class FileContext:
+    """Everything a rule needs to analyze one file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module = module_name_for(path)
+        self.suppressions = parse_suppressions(source)
+
+    # ------------------------------------------------------------------ #
+    # Module-classification helpers used by rule exemption lists
+    # ------------------------------------------------------------------ #
+
+    def module_is(self, *dotted: str) -> bool:
+        """True if this file is exactly one of the given dotted modules."""
+        return self.module in dotted
+
+    def module_under(self, *packages: str) -> bool:
+        """True if this file lives in (or is) one of the given packages."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    @property
+    def is_output_module(self) -> bool:
+        """Modules allowed to write to stdout (DAT004 exemptions).
+
+        CLI entry points (``cli``/``__main__`` modules), the experiment
+        harnesses, the text renderer :mod:`repro.viz`, and devtools (this
+        linter's own CLI prints its report).
+        """
+        last = self.module.rsplit(".", 1)[-1]
+        return (
+            last in ("cli", "__main__", "viz")
+            or self.module_under("repro.experiments", "repro.devtools")
+        )

@@ -1,0 +1,40 @@
+"""Diagnostic records emitted by datlint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Diagnostic", "PARSE_ERROR_CODE"]
+
+#: Pseudo-rule code used for files that fail to parse.
+PARSE_ERROR_CODE = "DAT000"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violation at a source location.
+
+    Ordering is (path, line, col, rule) so reports are stable regardless
+    of rule-execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Human-readable single-line rendering (``path:line:col: CODE msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable mapping (stable key set for tooling)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

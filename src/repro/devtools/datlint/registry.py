@@ -1,0 +1,78 @@
+"""Rule base class and the pluggable rule registry.
+
+A rule is a class with a ``code`` (``DATnnn``), a short ``name``, a
+``rationale`` tied to the paper's requirements, and a ``check`` method
+yielding :class:`~repro.devtools.datlint.diagnostics.Diagnostic` records.
+Decorating with :func:`register` adds it to the global registry the runner
+and CLI iterate over; external extensions can register additional rules the
+same way before invoking the runner.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Iterator, TypeVar
+
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "rule_codes"]
+
+
+class Rule(abc.ABC):
+    """One datlint check."""
+
+    #: Stable identifier, e.g. ``"DAT001"``.
+    code: str = ""
+    #: Short kebab-case name, e.g. ``"determinism"``.
+    name: str = ""
+    #: One-paragraph justification (surfaced by ``--list-rules``).
+    rationale: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield one diagnostic per violation found in ``ctx``."""
+
+    def diagnostic(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``'s source location."""
+        return Diagnostic(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+RuleT = TypeVar("RuleT", bound="type[Rule]")
+
+
+def register(rule_cls: RuleT) -> RuleT:
+    """Class decorator adding a rule (by instance) to the registry."""
+    instance = rule_cls()
+    if not instance.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if instance.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {instance.code}")
+    _REGISTRY[instance.code] = instance
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by code (raises ``KeyError`` for unknown codes)."""
+    return _REGISTRY[code]
+
+
+def rule_codes() -> list[str]:
+    """Sorted list of registered rule codes."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,21 @@
+"""Built-in datlint rules — importing this package registers all of them."""
+
+from repro.devtools.datlint.rules import (  # noqa: F401  (import-for-effect)
+    dat001_determinism,
+    dat002_idspace,
+    dat003_float_eq,
+    dat004_print,
+    dat005_blocking,
+    dat006_mutable_defaults,
+    dat007_excepts,
+)
+
+__all__ = [
+    "dat001_determinism",
+    "dat002_idspace",
+    "dat003_float_eq",
+    "dat004_print",
+    "dat005_blocking",
+    "dat006_mutable_defaults",
+    "dat007_excepts",
+]

@@ -1,0 +1,125 @@
+"""DAT001 — deterministic randomness and clocks.
+
+The paper's figures (7–9) are replicated from seeded runs; bit-identical
+replays require every random draw to flow from a seed threaded through
+:mod:`repro.util.rng` and every timestamp to come from the virtual clock
+(``transport.now()``), never the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.astutils import call_dotted
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+#: Modules allowed to touch entropy sources directly.
+_EXEMPT_MODULES = ("repro.util.rng",)
+
+#: Dotted call names that read the wall clock (non-deterministic).
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+}
+
+#: Functions on numpy's *global* RNG — unseeded shared state.
+_NUMPY_GLOBAL_FUNCS = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+}
+
+
+@register
+class DeterminismRule(Rule):
+    code = "DAT001"
+    name = "determinism"
+    rationale = (
+        "Fig. 7-9 replications must be bit-identical run-to-run: no stdlib "
+        "`random`, no wall-clock reads, no argless/global numpy RNGs. "
+        "Thread seeds through repro.util.rng instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.module_is(*_EXEMPT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in ("random", "secrets"):
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"import of non-seedable `{alias.name}`; use "
+                            "repro.util.rng (ensure_rng/derive_rng) instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in ("random", "secrets"):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"import from `{node.module}`; use repro.util.rng "
+                        "(ensure_rng/derive_rng) instead",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        dotted = call_dotted(node)
+        if dotted is None:
+            return
+        if dotted in _WALL_CLOCK_CALLS:
+            yield self.diagnostic(
+                ctx,
+                node,
+                f"wall-clock read `{dotted}()`; simulated components must "
+                "use the transport's virtual clock (`transport.now()`)",
+            )
+            return
+        parts = dotted.split(".")
+        # Argless default_rng() seeds from OS entropy — unreproducible.
+        if parts[-1] == "default_rng" and not node.args and not node.keywords:
+            yield self.diagnostic(
+                ctx,
+                node,
+                "argless `default_rng()` draws an OS-entropy seed; accept a "
+                "seed/Generator and normalize via repro.util.rng.ensure_rng",
+            )
+            return
+        # np.random.<func> / numpy.random.<func> global-state RNG.
+        if (
+            len(parts) >= 3
+            and parts[-2] == "random"
+            and parts[-3] in ("np", "numpy")
+            and parts[-1] in _NUMPY_GLOBAL_FUNCS
+        ):
+            yield self.diagnostic(
+                ctx,
+                node,
+                f"numpy global-RNG call `{dotted}()` shares hidden state "
+                "across components; use a threaded Generator from "
+                "repro.util.rng",
+            )

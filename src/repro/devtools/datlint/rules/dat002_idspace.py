@@ -1,0 +1,100 @@
+"""DAT002 — identifier arithmetic must go through :class:`IdSpace`.
+
+The finger-limiting function ``g(x) = ceil(log2((x + 2*d0)/3))`` and every
+DAT parent-selection formula are stated over *clockwise* distances on the
+b-bit ring.  Ad-hoc ``%``/mask arithmetic scattered through the tree is how
+wraparound bugs land (a ``(a - b) % 2**b`` with the operands swapped flips
+the ring's orientation silently).  All modular id arithmetic belongs in
+:mod:`repro.chord.idspace` (``wrap``/``cw``/``ccw``/interval tests) or the
+exact bit-math helpers in :mod:`repro.util.bits`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.astutils import chain_segments
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+#: Modules that implement the primitives and may use raw operators.
+_EXEMPT_MODULES = ("repro.chord.idspace", "repro.util.bits")
+
+#: Chain segments that mark an expression as id-space-related.
+_SPACE_SEGMENTS = {"space", "idspace", "id_space"}
+
+#: Bare names treated as a ring modulus when used as an operand.
+_SPACE_SIZED_NAMES = {"size", "max_id", "ring_size", "space_size", "id_space_size"}
+
+#: Attribute names that denote the space's modulus / mask / width.
+_SPACE_SIZED_ATTRS = {"size", "max_id", "bits"}
+
+
+def _is_space_chain(node: ast.expr) -> bool:
+    """``space.size``, ``self.space.max_id``, ``ring.space.bits``, ..."""
+    segments = chain_segments(node)
+    if len(segments) < 2 or segments[-1] not in _SPACE_SIZED_ATTRS:
+        return False
+    return any(seg.lower() in _SPACE_SEGMENTS for seg in segments[:-1])
+
+
+def _is_space_sized(node: ast.expr) -> bool:
+    """True if ``node`` syntactically denotes the ring modulus ``2^b``."""
+    if isinstance(node, ast.Name) and node.id in _SPACE_SIZED_NAMES:
+        return True
+    if isinstance(node, ast.Attribute) and _is_space_chain(node):
+        return True
+    if isinstance(node, ast.BinOp):
+        # 2 ** b  /  1 << b — the canonical power-of-two modulus spellings.
+        if (
+            isinstance(node.op, ast.Pow)
+            and isinstance(node.left, ast.Constant)
+            and node.left.value == 2
+        ):
+            return True
+        if (
+            isinstance(node.op, ast.LShift)
+            and isinstance(node.left, ast.Constant)
+            and node.left.value == 1
+        ):
+            return True
+    return False
+
+
+@register
+class IdSpaceHygieneRule(Rule):
+    code = "DAT002"
+    name = "id-space-hygiene"
+    rationale = (
+        "Clockwise-distance and wraparound arithmetic is only correct when "
+        "routed through IdSpace (wrap/cw/ccw/intervals) or util.bits; raw "
+        "`%` and masks on ring identifiers hide orientation bugs."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.module_is(*_EXEMPT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, ast.Mod) and _is_space_sized(node.right):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "raw modulo by the ring size; use IdSpace.wrap / "
+                    "IdSpace.cw (or util.bits helpers) so wraparound "
+                    "orientation is explicit",
+                )
+            elif isinstance(node.op, ast.BitAnd) and (
+                _is_space_chain(node.right)
+                if isinstance(node.right, ast.Attribute)
+                else False
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "raw mask by the ring's max_id; use IdSpace.wrap "
+                    "instead of bit-twiddling identifiers",
+                )

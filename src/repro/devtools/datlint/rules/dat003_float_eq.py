@@ -1,0 +1,63 @@
+"""DAT003 — no exact equality on floating-point values.
+
+Aggregate values (averages, std-devs, quantiles, imbalance factors) are
+floats accumulated across merge orders; exact ``==`` against a float is
+order-dependent and platform-dependent.  Compare with a tolerance
+(``math.isclose`` / ``pytest.approx``) or restructure around integers.
+Comparisons against *integer* literals (``total == 0``) are deliberately
+left alone — exact-zero sentinel tests are a conscious escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    """Float literal, ``float(...)`` cast, or arithmetic on either."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        # True division always yields a float.
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "DAT003"
+    name = "no-float-eq"
+    rationale = (
+        "Merge-order and platform effects make exact float equality on "
+        "aggregate/metric values flaky; use math.isclose or integer "
+        "arithmetic."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_floaty(left) or _is_floaty(right):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        "exact equality against a float; use math.isclose "
+                        "(or integer arithmetic) for aggregate/metric "
+                        "comparisons",
+                    )
+                    break

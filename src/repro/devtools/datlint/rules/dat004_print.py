@@ -1,0 +1,54 @@
+"""DAT004 — no ``print()`` in library code.
+
+Library modules run inside experiment sweeps and (eventually) servers;
+stray stdout writes corrupt machine-readable experiment output and cannot
+be filtered.  Route diagnostics through :mod:`repro.sim.tracing` (the
+``trace`` helper / ``logging`` tree).  CLI entry points, the experiment
+harnesses, and :mod:`repro.viz` legitimately produce stdout and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.astutils import call_dotted
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+_STDOUT_WRITES = {"sys.stdout.write", "sys.stderr.write"}
+
+
+@register
+class NoPrintRule(Rule):
+    code = "DAT004"
+    name = "no-print"
+    rationale = (
+        "Library stdout corrupts experiment output; route diagnostics "
+        "through repro.sim.tracing / logging. CLIs, experiments, and viz "
+        "are exempt."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.is_output_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "print() in library code; use repro.sim.tracing.trace "
+                    "(or the `repro` logging tree)",
+                )
+                continue
+            dotted = call_dotted(node)
+            if dotted in _STDOUT_WRITES:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"`{dotted}` in library code; use repro.sim.tracing / "
+                    "logging instead of raw stream writes",
+                )

@@ -1,0 +1,70 @@
+"""DAT005 — no blocking calls inside the simulated stack.
+
+The event engine is single-threaded and cooperative: one handler calling
+``time.sleep`` (or a synchronous socket op) stalls the entire virtual
+timeline and silently converts an event-driven protocol into a serial one.
+Real-time transports (:mod:`repro.sim.udprpc`, :mod:`repro.gma.live`) own
+actual sockets/threads and are exempt; everything else must express delay
+as scheduled events (``transport.schedule``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.astutils import call_dotted
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+#: Real-time modules that legitimately block on OS primitives.
+_EXEMPT_MODULES = ("repro.sim.udprpc", "repro.gma.live")
+
+_BLOCKING_CALLS = {
+    "time.sleep": "express delays as transport.schedule events",
+    "socket.socket": "sockets belong in the real-time transports",
+    "socket.create_connection": "sockets belong in the real-time transports",
+    "select.select": "the sim engine owns the event loop",
+    "subprocess.run": "no synchronous subprocesses in sim handlers",
+    "subprocess.check_output": "no synchronous subprocesses in sim handlers",
+}
+
+#: Method names that are blocking socket/file primitives wherever they appear.
+_BLOCKING_METHODS = {"recv", "recvfrom", "accept", "sendall", "makefile"}
+
+
+@register
+class NoBlockingRule(Rule):
+    code = "DAT005"
+    name = "no-blocking"
+    rationale = (
+        "The heap-based engine is cooperative; a blocking call in a "
+        "handler freezes virtual time for every node. Only the real-time "
+        "transports may touch sockets or sleep."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.module_is(*_EXEMPT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_dotted(node)
+            if dotted in _BLOCKING_CALLS:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"blocking call `{dotted}()`: {_BLOCKING_CALLS[dotted]}",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"blocking socket primitive `.{node.func.attr}()` "
+                    "outside the real-time transports",
+                )

@@ -1,0 +1,54 @@
+"""DAT006 — no mutable default arguments.
+
+A mutable default is created once at def-time and shared across every call
+— in a simulator that reuses node/service objects across scenarios this
+leaks state between supposedly independent runs, which is exactly the kind
+of cross-run contamination Zhang et al. document corrupting monitoring
+benchmarks.  Use ``None`` plus an in-body default (or
+``dataclasses.field(default_factory=...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORIES
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "DAT006"
+    name = "no-mutable-defaults"
+    rationale = (
+        "Def-time mutable defaults are shared across calls and leak state "
+        "between supposedly independent simulation runs."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.diagnostic(
+                        ctx,
+                        default,
+                        f"mutable default argument in `{node.name}()`; "
+                        "use None and create the object in the body",
+                    )

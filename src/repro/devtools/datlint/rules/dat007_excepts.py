@@ -1,0 +1,69 @@
+"""DAT007 — no bare or overbroad exception handlers.
+
+A bare ``except:`` (or ``except Exception:`` that swallows) hides protocol
+bugs as silent packet drops or stalled aggregations — failures then surface
+as *accuracy drift* in Fig. 9-style results instead of a stack trace.
+Catch the narrowest library exception (:mod:`repro.errors`); an overbroad
+handler is tolerated only when it re-raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(handler_type: ast.expr) -> list[str]:
+    """Overbroad class names mentioned in an except clause."""
+    nodes = (
+        list(handler_type.elts)
+        if isinstance(handler_type, ast.Tuple)
+        else [handler_type]
+    )
+    found = []
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            found.append(node.id)
+    return found
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body contains any ``raise``."""
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class ExceptHygieneRule(Rule):
+    code = "DAT007"
+    name = "except-hygiene"
+    rationale = (
+        "Swallowed exceptions surface as silent accuracy drift instead of "
+        "failures; catch narrow repro.errors types, or re-raise."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "bare `except:`; catch a specific exception type "
+                    "(see repro.errors)",
+                )
+                continue
+            broad = _broad_names(node.type)
+            if broad and not _reraises(node):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"overbroad `except {broad[0]}` that does not "
+                    "re-raise; catch the narrowest repro.errors type",
+                )

@@ -1,0 +1,96 @@
+"""File discovery and rule execution."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import repro.devtools.datlint.rules  # noqa: F401  (registers the built-ins)
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import PARSE_ERROR_CODE, Diagnostic
+from repro.devtools.datlint.registry import Rule, all_rules
+
+__all__ = ["discover_files", "lint_file", "lint_paths", "LintReport"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".mypy_cache"}
+
+
+def discover_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any diagnostic survived suppression."""
+        return 1 if self.diagnostics else 0
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule] | None = None
+) -> tuple[list[Diagnostic], int]:
+    """Lint one file; returns (surviving diagnostics, suppressed count).
+
+    An unreadable or unparsable file yields a single ``DAT000`` diagnostic
+    (suppressible only by fixing the file — parse errors ignore the
+    suppression table, which cannot be trusted for a broken file).
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return (
+            [
+                Diagnostic(
+                    path=str(path),
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=getattr(exc, "offset", None) or 0,
+                    rule=PARSE_ERROR_CODE,
+                    message=f"could not analyze file: {exc}",
+                )
+            ],
+            0,
+        )
+    ctx = FileContext(path, source, tree)
+    surviving: list[Diagnostic] = []
+    suppressed = 0
+    for rule in rules if rules is not None else all_rules():
+        for diagnostic in rule.check(ctx):
+            if ctx.suppressions.is_suppressed(diagnostic.rule, diagnostic.line):
+                suppressed += 1
+            else:
+                surviving.append(diagnostic)
+    return sorted(surviving), suppressed
+
+
+def lint_paths(
+    paths: Iterable[Path], rules: Sequence[Rule] | None = None
+) -> LintReport:
+    """Lint every python file under ``paths`` with ``rules`` (default: all)."""
+    report = LintReport()
+    for path in discover_files(paths):
+        diagnostics, suppressed = lint_file(path, rules=rules)
+        report.diagnostics.extend(diagnostics)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.diagnostics.sort()
+    return report

@@ -111,7 +111,7 @@ def run_churn_overhead(
     """Run the churn experiment on a live simulated overlay."""
     rng = ensure_rng(seed)
     space = IdSpace(bits)
-    key = key % space.size
+    key = space.wrap(key)
     transport = SimTransport(rng=rng)
     config = ChordConfig(stabilize_interval=0.5, fix_fingers_interval=0.1)
     network = ChordNetwork(space, transport, config)

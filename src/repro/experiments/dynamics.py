@@ -71,6 +71,7 @@ def _measure_one_rate(
 ) -> DynamicsPoint:
     rng = ensure_rng(seed)
     space = IdSpace(bits)
+    key = space.wrap(key)
     transport = SimTransport(latency=ConstantLatency(0.005), rng=rng)
     config = ChordConfig(
         stabilize_interval=0.25, fix_fingers_interval=0.05, rpc_timeout=0.5
@@ -87,7 +88,7 @@ def _measure_one_rate(
     overlay.run(5.0)
 
     overlay.start_continuous_everywhere(
-        key % space.size, "count", interval, stale_after=stale_after
+        key, "count", interval, stale_after=stale_after
     )
     overlay.run(interval * 12)  # warm-up: fill the tree
 
@@ -107,19 +108,19 @@ def _measure_one_rate(
             if rng.random() < 0.5 and len(overlay) > n_nodes // 2:
                 victims = [v for v in overlay.network.nodes]
                 victim = victims[int(rng.integers(0, len(victims)))]
-                if victim != overlay.current_root(key % space.size):
+                if victim != overlay.current_root(key):
                     overlay.remove_node(victim, graceful=False)
             else:
                 candidate = int(rng.integers(0, space.size))
                 if candidate not in overlay.network.nodes:
                     overlay.add_node(candidate)
                     overlay.enroll(
-                        candidate, key % space.size, "count", interval,
+                        candidate, key, "count", interval,
                         stale_after=stale_after,
                     )
             next_churn += float(rng.exponential(1.0 / churn_rate))
 
-        estimate = overlay.root_estimate(key % space.size)
+        estimate = overlay.root_estimate(key)
         truth = len(overlay)
         if estimate is None:
             continue

@@ -68,7 +68,7 @@ def measure_tree(
     """(max branching, avg branching, height) of one constructed tree."""
     space = IdSpace(bits)
     ring = make_assigner(id_strategy).build_ring(space, n_nodes, rng=seed)
-    tree = build_dat(ring, key % space.size, scheme=DatScheme(scheme), fast=True)
+    tree = build_dat(ring, space.wrap(key), scheme=DatScheme(scheme), fast=True)
     stats = tree.stats()
     return stats.max_branching, stats.avg_branching, stats.height
 

@@ -79,9 +79,10 @@ def _scheme_loads(
     space = IdSpace(bits)
     ring = make_assigner(id_strategy).build_ring(space, n_nodes, rng=seed)
     tables = ring.all_finger_tables()
-    centralized = centralized_routed_loads(ring, key % space.size, tables=tables)
-    basic = build_basic_dat(ring, key % space.size, tables=tables).message_loads()
-    balanced = build_balanced_dat(ring, key % space.size, tables=tables).message_loads()
+    rendezvous = space.wrap(key)
+    centralized = centralized_routed_loads(ring, rendezvous, tables=tables)
+    basic = build_basic_dat(ring, rendezvous, tables=tables).message_loads()
+    balanced = build_balanced_dat(ring, rendezvous, tables=tables).message_loads()
     return centralized, basic, balanced
 
 

@@ -32,7 +32,7 @@ from repro.sim.transport import Transport, MessageHandler
 from repro.sim.inproc import InprocTransport
 from repro.sim.simnet import SimTransport
 from repro.sim.udprpc import UdpRpcTransport
-from repro.sim.tracing import MessageTracer, TraceRecord
+from repro.sim.tracing import MessageTracer, TraceRecord, get_logger, trace
 
 __all__ = [
     "Event",
@@ -52,4 +52,6 @@ __all__ = [
     "UdpRpcTransport",
     "MessageTracer",
     "TraceRecord",
+    "get_logger",
+    "trace",
 ]

@@ -43,8 +43,10 @@ class SimulationEngine:
 
     Usage::
 
+        from repro.sim.tracing import trace
+
         engine = SimulationEngine()
-        engine.schedule(1.5, lambda: print("fires at t=1.5"))
+        engine.schedule(1.5, lambda: trace("fires at t=1.5"))
         engine.run()
     """
 

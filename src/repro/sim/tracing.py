@@ -1,19 +1,55 @@
-"""Message tracing for simulated runs.
+"""Message tracing and the library's logging layer.
 
-Wraps any transport's ``send`` with a recorder so experiments and tests can
-inspect exact message sequences — who talked to whom, when, and why — and
-render them as a text timeline. Zero overhead when not attached.
+Two facilities:
+
+* :class:`MessageTracer` wraps any transport's ``send`` with a recorder so
+  experiments and tests can inspect exact message sequences — who talked to
+  whom, when, and why — and render them as a text timeline. Zero overhead
+  when not attached.
+* :func:`trace` / :func:`get_logger` — the stdout-free diagnostic channel
+  for library code. datlint's DAT004 bans ``print()`` outside CLIs; library
+  modules emit through the ``repro`` logging tree instead, which stays
+  silent unless the application configures a handler.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.sim.messages import Message
 from repro.sim.transport import Transport
 
-__all__ = ["TraceRecord", "MessageTracer"]
+__all__ = ["TraceRecord", "MessageTracer", "get_logger", "trace"]
+
+#: Root of the library's logger tree; silent by default (no handler).
+_ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger under the ``repro`` tree (``get_logger("sim")`` -> ``repro.sim``).
+
+    Library code logs here instead of printing; applications opt in with
+    ``logging.basicConfig`` or a handler on the ``repro`` logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_LOGGER_NAME)
+    if name == _ROOT_LOGGER_NAME or name.startswith(_ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_LOGGER_NAME}.{name}")
+
+
+def trace(message: str, *args: object) -> None:
+    """Emit a debug-level diagnostic on the ``repro.sim`` logger.
+
+    The drop-in replacement for ad-hoc ``print()`` debugging in library
+    code::
+
+        from repro.sim.tracing import trace
+        engine.schedule(1.5, lambda: trace("fires at t=1.5"))
+    """
+    logging.getLogger(_ROOT_LOGGER_NAME + ".sim").debug(message, *args)
 
 
 @dataclass(frozen=True)
@@ -41,7 +77,7 @@ class MessageTracer:
         tracer = MessageTracer(transport)          # starts recording
         ... run the scenario ...
         tracer.detach()
-        print(tracer.timeline(kinds={"agg_push"}))
+        get_logger("sim").info(tracer.timeline(kinds={"agg_push"}))
 
     Filters: ``kinds`` restricts which message kinds are recorded at all
     (cheaper than filtering afterwards for chatty protocols).

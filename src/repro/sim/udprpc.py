@@ -228,7 +228,7 @@ class UdpRpcTransport(Transport):
                 self.stats.record_receive(message.destination, len(data))
                 try:
                     self._dispatch(message)
-                except Exception:  # noqa: BLE001 - a handler bug must not
+                except Exception:  # noqa: BLE001  # datlint: disable=DAT007 - a handler bug must not
                     # kill the shared receive loop; the failed RPC will
                     # surface as a timeout at the caller.
                     continue

@@ -14,6 +14,7 @@ __all__ = [
     "is_power_of_two",
     "next_power_of_two",
     "ceil_div",
+    "cyclic_increment",
 ]
 
 
@@ -53,6 +54,24 @@ def next_power_of_two(value: int) -> int:
     if value <= 0:
         raise ValueError(f"next_power_of_two requires a positive integer, got {value}")
     return 1 << ceil_log2(value)
+
+
+def cyclic_increment(value: int, modulus: int) -> int:
+    """Advance a round-robin cursor: ``(value + 1) mod modulus``.
+
+    The canonical helper for cursors that sweep a fixed-size table (finger
+    slots, successor lists) so cursor arithmetic is distinguishable from
+    identifier arithmetic, which must go through
+    :class:`repro.chord.idspace.IdSpace`.
+
+    >>> cyclic_increment(0, 4), cyclic_increment(3, 4)
+    (1, 0)
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    if not 0 <= value < modulus:
+        raise ValueError(f"value {value} outside [0, {modulus})")
+    return (value + 1) % modulus
 
 
 def ceil_div(numerator: int, denominator: int) -> int:

@@ -1,0 +1,418 @@
+"""datlint: every rule fires on a known-bad fixture and stays quiet on a
+known-good one; suppression comments and the CLI (text/JSON, exit codes)
+behave as documented."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.datlint import all_rules, lint_file, lint_paths
+from repro.devtools.datlint.cli import main
+from repro.devtools.datlint.context import module_name_for
+from repro.devtools.datlint.diagnostics import PARSE_ERROR_CODE
+
+
+def lint_snippet(tmp_path: Path, source: str, relpath: str = "repro/mod.py"):
+    """Write ``source`` at ``tmp_path/relpath`` and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    diagnostics, suppressed = lint_file(target)
+    return diagnostics, suppressed
+
+
+def codes(diagnostics) -> set[str]:
+    return {d.rule for d in diagnostics}
+
+
+# --------------------------------------------------------------------- #
+# Rule catalogue sanity
+# --------------------------------------------------------------------- #
+
+
+def test_all_seven_rules_registered():
+    assert [r.code for r in all_rules()] == [
+        "DAT001",
+        "DAT002",
+        "DAT003",
+        "DAT004",
+        "DAT005",
+        "DAT006",
+        "DAT007",
+    ]
+    for rule in all_rules():
+        assert rule.name and rule.rationale
+
+
+def test_module_name_detection(tmp_path):
+    assert module_name_for(Path("src/repro/chord/node.py")) == "repro.chord.node"
+    assert module_name_for(Path("src/repro/util/__init__.py")) == "repro.util"
+    outside = tmp_path / "scratch.py"
+    assert module_name_for(outside) == "scratch"
+
+
+# --------------------------------------------------------------------- #
+# DAT001 — determinism
+# --------------------------------------------------------------------- #
+
+
+def test_dat001_flags_stdlib_random(tmp_path):
+    diagnostics, _ = lint_snippet(tmp_path, "import random\n")
+    assert codes(diagnostics) == {"DAT001"}
+
+
+def test_dat001_flags_wall_clock_and_argless_rng(tmp_path):
+    source = (
+        "import time\nimport numpy as np\n"
+        "now = time.time()\n"
+        "rng = np.random.default_rng()\n"
+        "np.random.seed(3)\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert [d.rule for d in diagnostics] == ["DAT001"] * 3
+
+
+def test_dat001_clean_on_seeded_rng(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "def make(seed):\n"
+        "    return np.random.default_rng(seed)\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+
+
+def test_dat001_exempts_util_rng(tmp_path):
+    source = "import numpy as np\nrng = np.random.default_rng()\n"
+    diagnostics, _ = lint_snippet(tmp_path, source, relpath="repro/util/rng.py")
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# DAT002 — id-space hygiene
+# --------------------------------------------------------------------- #
+
+
+def test_dat002_flags_raw_modulo_variants(tmp_path):
+    source = (
+        "def f(key, space, bits):\n"
+        "    a = key % space.size\n"
+        "    b = key % (2 ** bits)\n"
+        "    c = key % (1 << bits)\n"
+        "    d = (key + 1) % space.bits\n"
+        "    return a, b, c, d\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert [d.rule for d in diagnostics] == ["DAT002"] * 4
+
+
+def test_dat002_flags_max_id_mask(tmp_path):
+    source = "def f(key, space):\n    return key & space.max_id\n"
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert codes(diagnostics) == {"DAT002"}
+
+
+def test_dat002_clean_on_idspace_helpers_and_unrelated_modulo(tmp_path):
+    source = (
+        "def f(key, space, items, step):\n"
+        "    w = space.wrap(key)\n"
+        "    d = space.cw(w, key)\n"
+        "    pick = items[key % len(items)]\n"
+        "    phase = step % 7\n"
+        "    return w, d, pick, phase\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+
+
+def test_dat002_exempt_in_idspace_module(tmp_path):
+    source = "def wrap(value, size):\n    return value % size\n"
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/chord/idspace.py"
+    )
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# DAT003 — float equality
+# --------------------------------------------------------------------- #
+
+
+def test_dat003_flags_float_literal_and_cast(tmp_path):
+    source = (
+        "def f(x, y):\n"
+        "    if x == 0.5:\n"
+        "        return True\n"
+        "    return float(x) != y\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert [d.rule for d in diagnostics] == ["DAT003"] * 2
+
+
+def test_dat003_clean_on_isclose_and_integer_compare(tmp_path):
+    source = (
+        "import math\n"
+        "def f(x, n):\n"
+        "    return math.isclose(x, 0.5) or n == 0\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# DAT004 — no print in library code
+# --------------------------------------------------------------------- #
+
+
+def test_dat004_flags_print_in_library(tmp_path):
+    source = "def f():\n    print('debug')\n"
+    diagnostics, _ = lint_snippet(tmp_path, source, relpath="repro/core/x.py")
+    assert codes(diagnostics) == {"DAT004"}
+
+
+def test_dat004_allows_cli_experiments_viz(tmp_path):
+    source = "def f():\n    print('report')\n"
+    for relpath in (
+        "repro/experiments/fig7.py",
+        "repro/viz.py",
+        "repro/gma/cli.py",
+        "repro/experiments/__main__.py",
+    ):
+        diagnostics, _ = lint_snippet(tmp_path, source, relpath=relpath)
+        assert diagnostics == [], relpath
+
+
+def test_dat004_flags_raw_stream_write(tmp_path):
+    source = "import sys\ndef f():\n    sys.stdout.write('x')\n"
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert codes(diagnostics) == {"DAT004"}
+
+
+# --------------------------------------------------------------------- #
+# DAT005 — no blocking calls
+# --------------------------------------------------------------------- #
+
+
+def test_dat005_flags_sleep_and_socket(tmp_path):
+    source = (
+        "import time, socket\n"
+        "def handler(sock):\n"
+        "    time.sleep(1)\n"
+        "    s = socket.socket()\n"
+        "    sock.recv(1024)\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert [d.rule for d in diagnostics] == ["DAT005"] * 3
+
+
+def test_dat005_exempts_realtime_transport(tmp_path):
+    source = "import socket\ndef f(sock):\n    return sock.recvfrom(65536)\n"
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/sim/udprpc.py"
+    )
+    assert diagnostics == []
+
+
+def test_dat005_clean_on_scheduled_events(tmp_path):
+    source = "def f(transport, cb):\n    transport.schedule(1.5, cb)\n"
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# DAT006 — mutable defaults
+# --------------------------------------------------------------------- #
+
+
+def test_dat006_flags_mutable_defaults(tmp_path):
+    source = (
+        "def f(a=[], b={}, *, c=set(), d=dict()):\n"
+        "    return a, b, c, d\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert [d.rule for d in diagnostics] == ["DAT006"] * 4
+
+
+def test_dat006_clean_on_none_default(tmp_path):
+    source = (
+        "def f(a=None, n=3, name='x'):\n"
+        "    return list(a or []), n, name\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# DAT007 — except hygiene
+# --------------------------------------------------------------------- #
+
+
+def test_dat007_flags_bare_and_swallowing_broad_except(tmp_path):
+    source = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except:\n"
+        "        pass\n"
+        "def g():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert [d.rule for d in diagnostics] == ["DAT007"] * 2
+
+
+def test_dat007_allows_narrow_catch_and_reraising_broad(tmp_path):
+    source = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except ValueError:\n"
+        "        return None\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception as exc:\n"
+        "        cleanup()\n"
+        "        raise\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# Suppression comments
+# --------------------------------------------------------------------- #
+
+
+def test_line_level_suppression_only_silences_that_line(tmp_path):
+    source = (
+        "def f():\n"
+        "    print('one')  # datlint: disable=DAT004\n"
+        "    print('two')\n"
+    )
+    diagnostics, suppressed = lint_snippet(tmp_path, source)
+    assert suppressed == 1
+    assert [d.rule for d in diagnostics] == ["DAT004"]
+    assert diagnostics[0].line == 3
+
+
+def test_file_level_suppression_silences_whole_file(tmp_path):
+    source = (
+        "# datlint: disable=DAT004\n"
+        "def f():\n"
+        "    print('one')\n"
+        "    print('two')\n"
+    )
+    diagnostics, suppressed = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+    assert suppressed == 2
+
+
+def test_file_level_suppression_is_rule_specific(tmp_path):
+    source = (
+        "# datlint: disable=DAT004\n"
+        "import random\n"
+        "def f():\n"
+        "    print('one')\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert codes(diagnostics) == {"DAT001"}
+
+
+def test_disable_all_on_a_line(tmp_path):
+    source = (
+        "def f():\n"
+        "    print(random_thing := 1)  # datlint: disable=all\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# Parse failures
+# --------------------------------------------------------------------- #
+
+
+def test_unparsable_file_yields_dat000(tmp_path):
+    diagnostics, _ = lint_snippet(tmp_path, "def broken(:\n")
+    assert [d.rule for d in diagnostics] == [PARSE_ERROR_CODE]
+
+
+# --------------------------------------------------------------------- #
+# Runner + CLI
+# --------------------------------------------------------------------- #
+
+
+def write_tree(tmp_path: Path) -> Path:
+    root = tmp_path / "proj"
+    (root / "pkg").mkdir(parents=True)
+    (root / "pkg" / "bad.py").write_text("import random\n")
+    (root / "pkg" / "good.py").write_text("VALUE = 1\n")
+    return root
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    report = lint_paths([write_tree(tmp_path)])
+    assert report.files_checked == 2
+    assert codes(report.diagnostics) == {"DAT001"}
+    assert report.exit_code == 1
+
+
+def test_cli_text_output_and_exit_code(tmp_path, capsys):
+    root = write_tree(tmp_path)
+    assert main([str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "DAT001" in out and "bad.py" in out
+
+    assert main([str(root / "pkg" / "good.py")]) == 0
+
+
+def test_cli_json_output(tmp_path, capsys):
+    root = write_tree(tmp_path)
+    assert main([str(root), "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 2
+    assert payload["suppressed"] == 0
+    (finding,) = payload["diagnostics"]
+    assert finding["rule"] == "DAT001"
+    assert finding["path"].endswith("bad.py")
+    assert finding["line"] == 1
+    assert set(finding) == {"path", "line", "col", "rule", "message"}
+
+
+def test_cli_select_and_ignore(tmp_path):
+    root = write_tree(tmp_path)
+    assert main([str(root), "--select=DAT004"]) == 0
+    assert main([str(root), "--ignore=DAT001"]) == 0
+    assert main([str(root), "--select=DAT001"]) == 1
+
+
+def test_cli_usage_errors_exit_2(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(tmp_path), "--select=DAT999"])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(tmp_path / "no_such_dir")])
+    assert excinfo.value.code == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DAT001", "DAT007"):
+        assert code in out
+
+
+def test_repo_source_tree_is_clean():
+    """The shipped tree must lint clean (the CI gate, run in-process)."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    report = lint_paths([src])
+    assert report.exit_code == 0, [d.format() for d in report.diagnostics]

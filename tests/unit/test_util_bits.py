@@ -5,6 +5,7 @@ import pytest
 from repro.util.bits import (
     ceil_div,
     ceil_log2,
+    cyclic_increment,
     floor_log2,
     is_power_of_two,
     next_power_of_two,
@@ -94,3 +95,29 @@ class TestCeilDiv:
             ceil_div(5, 0)
         with pytest.raises(ValueError):
             ceil_div(-1, 3)
+
+
+class TestCyclicIncrement:
+    def test_wraps_at_modulus(self):
+        assert cyclic_increment(0, 4) == 1
+        assert cyclic_increment(2, 4) == 3
+        assert cyclic_increment(3, 4) == 0
+
+    def test_modulus_one_is_fixed_point(self):
+        assert cyclic_increment(0, 1) == 0
+
+    def test_full_cycle_visits_every_slot(self):
+        cursor, seen = 0, []
+        for _ in range(8):
+            seen.append(cursor)
+            cursor = cyclic_increment(cursor, 8)
+        assert sorted(seen) == list(range(8))
+        assert cursor == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            cyclic_increment(0, 0)
+        with pytest.raises(ValueError):
+            cyclic_increment(4, 4)
+        with pytest.raises(ValueError):
+            cyclic_increment(-1, 4)
