@@ -22,6 +22,7 @@ from repro.core.builder import build_dat
 from repro.core.builder import DatScheme
 from repro.core.tree import DatTree
 from repro.errors import TreeError
+from repro.util.bits import ceil_div
 
 __all__ = [
     "FAST_PATH_MAX_BITS",
@@ -43,6 +44,23 @@ def _require_fast_capable(ring: StaticRing) -> None:
         )
     if len(ring) == 0:
         raise TreeError("fast path requires a non-empty ring")
+
+
+def _resolve_matrix(ring: StaticRing, matrix: np.ndarray | None) -> np.ndarray:
+    """Use a caller-supplied finger matrix after a cheap shape check.
+
+    Callers that build many trees on one ring (``DatTreeBuilder``,
+    ``DatForest``, the incremental engine) pass the cached matrix so the
+    two searchsorted passes run once per *ring*, not once per *tree*.
+    """
+    if matrix is None:
+        return fast_finger_matrix(ring)
+    if matrix.shape != (len(ring), ring.space.bits):
+        raise TreeError(
+            f"finger matrix shape {matrix.shape} does not match the ring "
+            f"({len(ring)} nodes, {ring.space.bits} bits)"
+        )
+    return matrix
 
 
 def fast_finger_matrix(ring: StaticRing) -> np.ndarray:
@@ -83,14 +101,38 @@ def _vectorized_ceil_log2(values: np.ndarray) -> np.ndarray:
     return np.maximum(result, 0)
 
 
-def fast_basic_parents(ring: StaticRing, key: int) -> dict[int, int]:
-    """Basic-DAT parent map, vectorized; equals the scalar builder's."""
+def _parents_from_best(
+    nodes: np.ndarray, fingers: np.ndarray, best: np.ndarray, root: int
+) -> dict[int, int]:
+    """Assemble the parent dict from per-node best slots, branch-free.
+
+    The root row is masked out with array ops and the (node, parent) pairs
+    are materialized through two ``tolist()`` calls — no per-node Python
+    conditional in the hot loop.
+    """
+    mask = nodes != np.int64(root)
+    best_masked = best[mask]
+    if best_masked.size and int(best_masked.min()) < 0:
+        bad = nodes[mask][best_masked < 0]
+        raise TreeError(f"node {int(bad[0])} has no eligible finger toward {root}")
+    chosen = fingers[np.nonzero(mask)[0], best_masked]
+    return dict(zip(nodes[mask].tolist(), chosen.tolist()))
+
+
+def fast_basic_parents(
+    ring: StaticRing, key: int, matrix: np.ndarray | None = None
+) -> dict[int, int]:
+    """Basic-DAT parent map, vectorized; equals the scalar builder's.
+
+    ``matrix`` optionally supplies a precomputed :func:`fast_finger_matrix`
+    shared across rendezvous keys.
+    """
     _require_fast_capable(ring)
     space = ring.space
     mask = space.max_id
     nodes = np.asarray(ring.nodes, dtype=np.int64)
     root = np.int64(ring.successor(key))
-    fingers = fast_finger_matrix(ring)
+    fingers = _resolve_matrix(ring, matrix)
 
     finger_dist = _cw(mask, nodes[:, np.newaxis], fingers)
     target_dist = _cw(mask, nodes, np.broadcast_to(root, nodes.shape))
@@ -100,20 +142,28 @@ def fast_basic_parents(ring: StaticRing, key: int) -> dict[int, int]:
     # the highest slot is the farthest non-overshooting finger).
     slot_index = np.where(eligible, np.arange(space.bits, dtype=np.int64), -1)
     best = slot_index.max(axis=1)
+    return _parents_from_best(nodes, fingers, best, int(root))
 
-    parents: dict[int, int] = {}
-    for i, node in enumerate(ring.nodes):
-        if node == root:
-            continue
-        j = best[i]
-        if j < 0:
-            raise TreeError(f"node {node} has no eligible finger toward {int(root)}")
-        parents[node] = int(fingers[i, j])
-    return parents
+
+def _exact_ceil_q(x: np.ndarray, n: int, size: int) -> np.ndarray:
+    """Exact ``q = ceil((x*n + 2*size) / (3*n))`` as an int64 array.
+
+    Vectorized when ``max(x)*n + 2*size`` provably fits in int64; otherwise
+    (possible only for spaces near the 48-bit fast-path limit combined with
+    very large rings) each element is computed with arbitrary-precision
+    Python integers, trading speed for exactness.
+    """
+    x_max = int(x.max()) if x.size else 0
+    if x_max * n + 2 * size < 2**63:
+        numerator = x * np.int64(n) + np.int64(2 * size)
+        return -((-numerator) // np.int64(3 * n))
+    return np.array(
+        [ceil_div(int(xi) * n + 2 * size, 3 * n) for xi in x], dtype=np.int64
+    )
 
 
 def fast_balanced_parents(
-    ring: StaticRing, key: int
+    ring: StaticRing, key: int, matrix: np.ndarray | None = None
 ) -> dict[int, int]:
     """Balanced-DAT parent map (Algorithm 1), vectorized.
 
@@ -121,7 +171,9 @@ def fast_balanced_parents(
     The limit ``g(x) = ceil(log2((x + 2*d0)/3))`` is evaluated with pure
     integer arithmetic: ``q = ceil((x*n + 2*2^bits) / (3n))`` then an exact
     ``ceil(log2(q))``, matching
-    :func:`repro.core.limiting.finger_limit` bit-for-bit.
+    :func:`repro.core.limiting.finger_limit` bit-for-bit. ``matrix``
+    optionally supplies a precomputed :func:`fast_finger_matrix` shared
+    across rendezvous keys.
     """
     _require_fast_capable(ring)
     space = ring.space
@@ -129,18 +181,12 @@ def fast_balanced_parents(
     n = len(ring)
     nodes = np.asarray(ring.nodes, dtype=np.int64)
     root = np.int64(ring.successor(key))
-    fingers = fast_finger_matrix(ring)
+    fingers = _resolve_matrix(ring, matrix)
 
     finger_dist = _cw(mask, nodes[:, np.newaxis], fingers)
     x = _cw(mask, nodes, np.broadcast_to(root, nodes.shape))
 
-    # q = ceil((x*n + 2*size) / (3*n)), exactly, using Python ints to dodge
-    # the x*n overflow for wide spaces, then back to an array.
-    size = space.size
-    q = np.array(
-        [-(-(int(xi) * n + 2 * size) // (3 * n)) for xi in x], dtype=np.int64
-    )
-    q = np.maximum(q, 1)
+    q = np.maximum(_exact_ceil_q(x, n, space.size), 1)
     limits = _vectorized_ceil_log2(q)
 
     slots = np.arange(space.bits, dtype=np.int64)[np.newaxis, :]
@@ -151,31 +197,26 @@ def fast_balanced_parents(
     )
     slot_index = np.where(eligible, slots, -1)
     best = slot_index.max(axis=1)
-
-    parents: dict[int, int] = {}
-    for i, node in enumerate(ring.nodes):
-        if node == root:
-            continue
-        j = best[i]
-        if j < 0:
-            raise TreeError(f"node {node} has no eligible finger toward {int(root)}")
-        parents[node] = int(fingers[i, j])
-    return parents
+    return _parents_from_best(nodes, fingers, best, int(root))
 
 
 def build_dat_fast(
-    ring: StaticRing, key: int, scheme: DatScheme | str = DatScheme.BALANCED
+    ring: StaticRing,
+    key: int,
+    scheme: DatScheme | str = DatScheme.BALANCED,
+    matrix: np.ndarray | None = None,
 ) -> DatTree:
     """Drop-in vectorized replacement for :func:`repro.core.builder.build_dat`.
 
     Falls back to the scalar builders for spaces wider than
-    ``FAST_PATH_MAX_BITS`` bits or single-node rings.
+    ``FAST_PATH_MAX_BITS`` bits or single-node rings. ``matrix`` optionally
+    supplies a precomputed :func:`fast_finger_matrix` shared across keys.
     """
     scheme = DatScheme(scheme)
     if ring.space.bits > FAST_PATH_MAX_BITS or len(ring) <= 1:
         return build_dat(ring, key, scheme=scheme)
     if scheme is DatScheme.BASIC:
-        parents = fast_basic_parents(ring, key)
+        parents = fast_basic_parents(ring, key, matrix=matrix)
     else:
-        parents = fast_balanced_parents(ring, key)
+        parents = fast_balanced_parents(ring, key, matrix=matrix)
     return DatTree(root=ring.successor(key), parent=parents, key=key)

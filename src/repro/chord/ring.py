@@ -45,6 +45,7 @@ class StaticRing:
             seen.add(ident)
         self._nodes = sorted(seen)
         self._node_set = seen
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # Collection protocol
@@ -64,6 +65,16 @@ class StaticRing:
         """Sorted node identifiers (copy-safe view; do not mutate)."""
         return self._nodes
 
+    @property
+    def version(self) -> int:
+        """Monotone membership-change counter.
+
+        Incremented by every :meth:`add` / :meth:`remove`, letting derived
+        caches (finger tables, the incremental maintenance engine) detect
+        out-of-band ring mutation cheaply instead of comparing node lists.
+        """
+        return self._version
+
     def node_array(self) -> np.ndarray:
         """Sorted node identifiers as a NumPy array (uint64 when it fits)."""
         if self.space.bits <= 63:
@@ -81,6 +92,7 @@ class StaticRing:
             raise DuplicateNodeError(f"duplicate node identifier {ident}")
         insort(self._nodes, ident)
         self._node_set.add(ident)
+        self._version += 1
 
     def remove(self, ident: int) -> None:
         """Remove a node."""
@@ -89,6 +101,7 @@ class StaticRing:
         index = bisect_left(self._nodes, ident)
         del self._nodes[index]
         self._node_set.remove(ident)
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Consistent-hashing queries
@@ -129,6 +142,32 @@ class StaticRing:
             raise UnknownNodeError(ident)
         index = bisect_left(self._nodes, ident)
         return self._nodes[index - 1]  # index-1 == -1 wraps correctly
+
+    def index_of(self, ident: int) -> int:
+        """Position of member ``ident`` in the sorted node list."""
+        if ident not in self._node_set:
+            raise UnknownNodeError(ident)
+        return bisect_left(self._nodes, ident)
+
+    def nodes_in_interval(self, lo: int, hi: int) -> list[int]:
+        """Members in the clockwise *closed* interval ``[lo, hi]``.
+
+        The interval wraps past the top of the space when ``lo > hi``;
+        ``lo == hi`` denotes the single-identifier interval (matching
+        :meth:`IdSpace.in_closed`). Used by the incremental maintenance
+        engine to enumerate the nodes whose finger-limit ``g(x)`` value
+        shifted after a membership change.
+        """
+        self.space.validate(lo)
+        self.space.validate(hi)
+        if not self._nodes:
+            return []
+        if lo <= hi:
+            return self._nodes[bisect_left(self._nodes, lo) : bisect_right(self._nodes, hi)]
+        return (
+            self._nodes[bisect_left(self._nodes, lo) :]
+            + self._nodes[: bisect_right(self._nodes, hi)]
+        )
 
     def gap_before(self, ident: int) -> int:
         """Clockwise distance from ``ident``'s predecessor to ``ident``.

@@ -11,12 +11,18 @@ from __future__ import annotations
 
 from enum import Enum
 from fractions import Fraction
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.chord.fingers import FingerTable
 from repro.chord.ring import StaticRing
 from repro.core.limiting import FingerLimiter
 from repro.core.parent import select_parent_balanced, select_parent_basic
 from repro.core.tree import DatTree
+
+if TYPE_CHECKING:  # circular at runtime: incremental/fastbuild import us
+    from repro.chord.incremental import DatUpdateEngine, DatUpdateReport
 
 __all__ = [
     "DatScheme",
@@ -123,11 +129,22 @@ def build_dat(
 
 
 class DatTreeBuilder:
-    """Reusable builder caching finger tables across many rendezvous keys.
+    """Reusable builder caching finger state across many rendezvous keys.
 
     Building multiple DATs on one overlay (one per monitored attribute —
     the paper's 'multiple aggregation trees' scenario) shares the ring's
-    finger tables; only the per-node parent scan differs per key.
+    finger state; only the per-node parent scan differs per key. Two caches
+    are kept: the scalar ``{node: FingerTable}`` dict and the vectorized
+    :func:`~repro.chord.fastbuild.fast_finger_matrix`, so default builds
+    route through the NumPy fast path with the matrix computed once per
+    ring, not once per key.
+
+    :meth:`apply_event` switches the builder to incremental maintenance
+    (:class:`~repro.chord.incremental.DatUpdateEngine`): each membership
+    event then patches the finger caches and every previously built tree
+    in O(log n) expected time instead of invalidating them. After the
+    first event, trees returned by :meth:`build` are live views patched in
+    place by subsequent events.
     """
 
     def __init__(
@@ -136,6 +153,9 @@ class DatTreeBuilder:
         self.ring = ring
         self.scheme = DatScheme(scheme)
         self._tables: dict[int, FingerTable] | None = None
+        self._matrix: np.ndarray | None = None
+        self._built: dict[int, DatTree] = {}
+        self._engine: DatUpdateEngine | None = None
 
     @property
     def tables(self) -> dict[int, FingerTable]:
@@ -144,16 +164,88 @@ class DatTreeBuilder:
             self._tables = self.ring.all_finger_tables()
         return self._tables
 
+    @property
+    def finger_matrix(self) -> np.ndarray | None:
+        """Cached fast-path finger matrix; ``None`` when the space is too
+        wide for :mod:`~repro.chord.fastbuild` or the ring is trivial."""
+        if self._engine is not None:
+            return self._engine.maintainer.matrix
+        if self._matrix is None and self._fast_capable():
+            from repro.chord.fastbuild import fast_finger_matrix
+
+            self._matrix = fast_finger_matrix(self.ring)
+        return self._matrix
+
+    def _fast_capable(self) -> bool:
+        from repro.chord.fastbuild import FAST_PATH_MAX_BITS
+
+        return self.ring.space.bits <= FAST_PATH_MAX_BITS and len(self.ring) > 1
+
     def build(self, key: int, d0: float | Fraction | None = None) -> DatTree:
-        """Build the DAT for one rendezvous key."""
-        return build_dat(
-            self.ring, key, scheme=self.scheme, tables=self.tables, d0=d0
-        )
+        """Build the DAT for one rendezvous key.
+
+        Default builds (``d0=None``) go through the vectorized fast path
+        with the cached finger matrix when the space allows it; the scalar
+        path handles custom ``d0`` values and wide spaces. Identical
+        output either way (the fastbuild equivalence discipline).
+        """
+        if d0 is not None:
+            return build_dat(
+                self.ring, key, scheme=self.scheme, tables=self.tables, d0=d0
+            )
+        if self._engine is not None:
+            return self._engine.track(key)
+        matrix = self.finger_matrix
+        if matrix is not None:
+            from repro.chord.fastbuild import build_dat_fast
+
+            tree = build_dat_fast(self.ring, key, scheme=self.scheme, matrix=matrix)
+        else:
+            tree = build_dat(self.ring, key, scheme=self.scheme, tables=self.tables)
+        self._built[key] = tree
+        return tree
 
     def build_many(self, keys: list[int]) -> dict[int, DatTree]:
         """Build one DAT per rendezvous key (multi-tree scenario)."""
         return {key: self.build(key) for key in keys}
 
+    def apply_event(self, kind: str, ident: int) -> DatUpdateReport:
+        """Apply a join/leave/crash, patching caches and built trees.
+
+        The first call adopts the cached finger state into a
+        :class:`~repro.chord.incremental.DatUpdateEngine` and registers
+        every tree previously built with the default ``d0`` (the latest
+        build per key); subsequent calls cost O(log n) expected per event.
+        Returns the engine's :class:`~repro.chord.incremental.DatUpdateReport`.
+        """
+        return self._ensure_engine().apply(kind, ident)
+
+    def _ensure_engine(self) -> DatUpdateEngine:
+        if self._engine is None:
+            from repro.chord.incremental import DatUpdateEngine
+
+            self._engine = DatUpdateEngine(
+                self.ring,
+                scheme=self.scheme,
+                tables=self._tables,
+                matrix=self._matrix,
+            )
+            # The engine owns (or rebuilt) the scalar tables from here on;
+            # keep the builder's cache pointing at the maintained dict.
+            self._tables = self._engine.maintainer.tables
+            self._matrix = None
+            for key, tree in self._built.items():
+                self._engine.track(key, tree)
+            self._built.clear()
+        return self._engine
+
     def invalidate(self) -> None:
-        """Drop cached tables after ring membership changes."""
+        """Drop all cached finger state after out-of-band ring changes.
+
+        Not needed after :meth:`apply_event` — the point of the
+        incremental engine is that caches stay valid across events.
+        """
         self._tables = None
+        self._matrix = None
+        self._built.clear()
+        self._engine = None

@@ -22,8 +22,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.chord.idspace import IdSpace
+from repro.chord.incremental import DatUpdateEngine
 from repro.chord.network import ChordNetwork
 from repro.chord.node import ChordConfig
+from repro.chord.ring import StaticRing
 from repro.core.builder import build_balanced_dat
 from repro.core.tree import DatTree
 from repro.errors import TreeError
@@ -82,10 +84,32 @@ class ChurnOverheadResult:
     by_kind: dict[str, int] = field(default_factory=dict)
     #: per-event stabilization rounds until the live tree was valid again.
     repair_rounds: list[int] = field(default_factory=list)
+    #: per-event finger entries rewritten by the incremental model mirror.
+    incremental_finger_updates: list[int] = field(default_factory=list)
+    #: per-event parent entries recomputed by the incremental model mirror.
+    incremental_parent_updates: list[int] = field(default_factory=list)
+    #: events whose mirrored tree needed a full rebuild (root handover).
+    incremental_rebuilds: int = 0
 
     def mean_repair_rounds(self) -> float:
         """Average rounds to a valid tree after a membership change."""
         return float(np.mean(self.repair_rounds)) if self.repair_rounds else 0.0
+
+    def mean_incremental_updates(self) -> float:
+        """Average finger+parent entries touched per event by the model.
+
+        The analytical counterpart of the message counts: the converged-ring
+        mirror (:class:`~repro.chord.incremental.DatUpdateEngine`) repairs
+        the tree with this many entry updates — O(log n) expected — where
+        the old path rebuilt all ``n*bits`` of them.
+        """
+        touched = [
+            fingers + parents
+            for fingers, parents in zip(
+                self.incremental_finger_updates, self.incremental_parent_updates
+            )
+        ]
+        return float(np.mean(touched)) if touched else 0.0
 
     def dat_maintenance_messages(self) -> int:
         """Messages whose kind belongs to DAT tree maintenance: always 0.
@@ -132,6 +156,12 @@ def run_churn_overhead(
     transport.stats.reset()
     start_time = transport.now()
 
+    # Converged-ring mirror maintained incrementally alongside the live
+    # overlay: quantifies the analytical repair cost (finger + parent
+    # entries touched) for the same event sequence.
+    mirror = DatUpdateEngine(StaticRing(space, sorted(network.nodes)))
+    mirror.track(key)
+
     workload = ChurnWorkload(
         duration=float(n_churn_events),
         join_rate=0.5,
@@ -140,6 +170,9 @@ def run_churn_overhead(
     )
     events = workload.generate()[:n_churn_events]
     repair_rounds: list[int] = []
+    finger_updates: list[int] = []
+    parent_updates: list[int] = []
+    rebuilds = 0
 
     for event in events:
         if event.kind is ChurnKind.JOIN:
@@ -147,12 +180,17 @@ def run_churn_overhead(
             while candidate in network.nodes:
                 candidate = int(rng.integers(0, space.size))
             network.add_node(candidate)
+            report = mirror.apply(event.kind.value, candidate)
         else:
             victims = list(network.nodes)
             if len(victims) <= 2:
                 continue
             victim = victims[int(rng.integers(0, len(victims)))]
             network.remove_node(victim, graceful=event.kind is ChurnKind.LEAVE)
+            report = mirror.apply(event.kind.value, victim)
+        finger_updates.append(report.finger_updates)
+        parent_updates.append(report.parent_updates)
+        rebuilds += len(report.rebuilt_keys)
 
         # Count stabilization rounds until the live tree is valid again.
         rounds = 0
@@ -174,4 +212,7 @@ def run_churn_overhead(
         messages_per_node_second=per_node_second,
         by_kind=transport.stats.by_kind(),
         repair_rounds=repair_rounds,
+        incremental_finger_updates=finger_updates,
+        incremental_parent_updates=parent_updates,
+        incremental_rebuilds=rebuilds,
     )

@@ -10,13 +10,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_non_negative, check_positive
 
-__all__ = ["ChurnKind", "ChurnEvent", "ChurnWorkload"]
+if TYPE_CHECKING:
+    from repro.chord.incremental import DatUpdateEngine, DatUpdateReport
+
+__all__ = ["ChurnKind", "ChurnEvent", "ChurnWorkload", "replay_churn"]
 
 
 class ChurnKind(str, Enum):
@@ -96,3 +100,41 @@ class ChurnWorkload:
     def expected_events(self) -> float:
         """Expected total membership changes over the horizon."""
         return (self.join_rate + self.leave_rate) * self.duration
+
+
+def replay_churn(
+    engine: DatUpdateEngine,
+    events: Iterable[ChurnEvent],
+    seed: int | np.random.Generator | None = None,
+    min_nodes: int = 2,
+) -> list[DatUpdateReport]:
+    """Replay a churn schedule against an incremental maintenance engine.
+
+    :class:`ChurnEvent` carries only a kind — this resolves each event onto
+    a concrete identity (joins pick an unused random identifier, departures
+    a random current member) and applies it through
+    :meth:`~repro.chord.incremental.DatUpdateEngine.apply`, so the engine's
+    ring, finger state, and every tracked tree stay current at O(log n)
+    expected cost per event. Departures that would shrink the ring below
+    ``min_nodes`` are skipped, mirroring the live-overlay experiments.
+
+    Returns the per-event :class:`~repro.chord.incremental.DatUpdateReport`
+    list (one entry per event actually applied).
+    """
+    rng = ensure_rng(seed)
+    reports = []
+    for event in events:
+        ring = engine.ring
+        kind = event.kind.value
+        if event.kind is ChurnKind.JOIN:
+            candidate = int(rng.integers(0, ring.space.size))
+            while candidate in ring:
+                candidate = int(rng.integers(0, ring.space.size))
+            reports.append(engine.apply(kind, candidate))
+        else:
+            if len(ring) <= min_nodes:
+                continue
+            nodes = ring.nodes
+            victim = nodes[int(rng.integers(0, len(nodes)))]
+            reports.append(engine.apply(kind, victim))
+    return reports

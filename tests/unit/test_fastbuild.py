@@ -99,6 +99,63 @@ class TestVectorizedCeilLog2:
         assert np.array_equal(_vectorized_ceil_log2(arr), expected)
 
 
+class TestExactCeilQ:
+    def test_matches_ceil_div_in_vector_range(self):
+        from repro.chord.fastbuild import _exact_ceil_q
+        from repro.util.bits import ceil_div
+
+        x = np.array([0, 1, 2, 5, 1000, 2**20, 2**30], dtype=np.int64)
+        n, size = 4096, 2**32
+        expected = [ceil_div(int(v) * n + 2 * size, 3 * n) for v in x]
+        assert _exact_ceil_q(x, n, size).tolist() == expected
+
+    def test_overflow_branch_stays_exact(self):
+        from repro.chord.fastbuild import _exact_ceil_q
+        from repro.util.bits import ceil_div
+
+        # x*n + 2*size >= 2^63 forces the arbitrary-precision fallback.
+        size = 2**48
+        n = 2**16
+        x = np.array([size - 1, size - 2, size // 2], dtype=np.int64)
+        assert int(x.max()) * n + 2 * size >= 2**63
+        expected = [ceil_div(int(v) * n + 2 * size, 3 * n) for v in x]
+        assert _exact_ceil_q(x, n, size).tolist() == expected
+
+    def test_empty_input(self):
+        from repro.chord.fastbuild import _exact_ceil_q
+
+        assert _exact_ceil_q(np.array([], dtype=np.int64), 8, 256).size == 0
+
+
+class TestSharedMatrix:
+    def test_supplied_matrix_used_across_keys(self):
+        space = IdSpace(16)
+        ring = UniformIdAssigner().build_ring(space, 64)
+        matrix = fast_finger_matrix(ring)
+        for key in (0, 1234, space.max_id):
+            with_shared = fast_balanced_parents(ring, key, matrix=matrix)
+            fresh = fast_balanced_parents(ring, key)
+            assert with_shared == fresh
+            with_shared = fast_basic_parents(ring, key, matrix=matrix)
+            fresh = fast_basic_parents(ring, key)
+            assert with_shared == fresh
+
+    def test_build_dat_fast_accepts_matrix(self):
+        space = IdSpace(16)
+        ring = UniformIdAssigner().build_ring(space, 32)
+        matrix = fast_finger_matrix(ring)
+        tree = build_dat_fast(ring, 42, matrix=matrix)
+        plain = build_dat_fast(ring, 42)
+        assert tree.root == plain.root and tree.parent == plain.parent
+
+    def test_wrong_shape_matrix_rejected(self):
+        space = IdSpace(16)
+        ring = UniformIdAssigner().build_ring(space, 32)
+        bad = np.zeros((3, space.bits), dtype=np.int64)
+        with pytest.raises(TreeError):
+            fast_balanced_parents(ring, 0, matrix=bad)
+
+
 class TestSpeedupSanity:
     def test_fast_path_is_faster_at_scale(self):
         import time
