@@ -49,6 +49,7 @@ from repro.chord.fastbuild import (
     build_dat_fast,
     fast_finger_matrix,
 )
+from repro import telemetry
 from repro.chord.fingers import FingerTable
 from repro.chord.ring import StaticRing
 from repro.core.builder import DatScheme, build_dat
@@ -591,6 +592,26 @@ class DatUpdateEngine:
 
     def apply(self, kind: str, ident: int) -> DatUpdateReport:
         """Apply one membership event and patch every tracked tree."""
+        with telemetry.span(
+            "churn.apply", kind=kind, node=ident, n_trees=len(self._trees)
+        ) as sp:
+            report = self._apply(kind, ident)
+            if sp is not telemetry.NULL_SPAN:
+                sp.set(
+                    finger_updates=report.finger_updates,
+                    parent_updates=report.parent_updates,
+                    rebuilt=len(report.rebuilt_keys),
+                )
+                telemetry.count("churn_events_total", kind=kind)
+                telemetry.count(
+                    "churn_finger_updates_total", report.finger_updates
+                )
+                telemetry.count(
+                    "churn_parent_updates_total", report.parent_updates
+                )
+            return report
+
+    def _apply(self, kind: str, ident: int) -> DatUpdateReport:
         delta = self.maintainer.apply(kind, ident)
         reparented: dict[int, int] = {}
         rebuilt: list[int] = []

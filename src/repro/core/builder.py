@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import telemetry
 from repro.chord.fingers import FingerTable
 from repro.chord.ring import StaticRing
 from repro.core.limiting import FingerLimiter
@@ -118,14 +119,25 @@ def build_dat(
     rings; only valid with the default ``d0`` and no pre-built ``tables``.
     """
     scheme = DatScheme(scheme)
-    if fast and tables is None and d0 is None:
-        # Imported lazily: fastbuild depends on this module's tree types.
-        from repro.chord.fastbuild import build_dat_fast
+    # Instrumentation lives on this wrapper (and on DatTreeBuilder.build),
+    # never in the per-node loops — the disabled-mode cost is one global
+    # read per build, gated by benchmarks/bench_telemetry_overhead.py.
+    with telemetry.span(
+        "dat.build", key=key, scheme=scheme.value, n=len(ring)
+    ) as sp:
+        if fast and tables is None and d0 is None:
+            # Imported lazily: fastbuild depends on this module's tree types.
+            from repro.chord.fastbuild import build_dat_fast
 
-        return build_dat_fast(ring, key, scheme=scheme)
-    if scheme is DatScheme.BASIC:
-        return build_basic_dat(ring, key, tables=tables)
-    return build_balanced_dat(ring, key, tables=tables, d0=d0)
+            tree = build_dat_fast(ring, key, scheme=scheme)
+        elif scheme is DatScheme.BASIC:
+            tree = build_basic_dat(ring, key, tables=tables)
+        else:
+            tree = build_balanced_dat(ring, key, tables=tables, d0=d0)
+        if sp is not telemetry.NULL_SPAN:
+            sp.set(root=tree.root, height=tree.height)
+            telemetry.count("dat_builds_total", scheme=scheme.value)
+        return tree
 
 
 class DatTreeBuilder:
@@ -199,7 +211,15 @@ class DatTreeBuilder:
         if matrix is not None:
             from repro.chord.fastbuild import build_dat_fast
 
-            tree = build_dat_fast(self.ring, key, scheme=self.scheme, matrix=matrix)
+            with telemetry.span(
+                "dat.build", key=key, scheme=self.scheme.value, n=len(self.ring)
+            ) as sp:
+                tree = build_dat_fast(
+                    self.ring, key, scheme=self.scheme, matrix=matrix
+                )
+                if sp is not telemetry.NULL_SPAN:
+                    sp.set(root=tree.root, height=tree.height)
+                    telemetry.count("dat_builds_total", scheme=self.scheme.value)
         else:
             tree = build_dat(self.ring, key, scheme=self.scheme, tables=self.tables)
         self._built[key] = tree

@@ -28,10 +28,12 @@ from typing import TYPE_CHECKING, Any, Callable
 if TYPE_CHECKING:  # runtime import would cycle: broadcast uses core.tree
     from repro.chord.broadcast import BroadcastService
 
+from repro import telemetry
 from repro.core.aggregates import Aggregate, get_aggregate
 from repro.core.service import DatNodeService, _decode_state, _encode_state
 from repro.errors import AggregationError
 from repro.sim.messages import Message
+from repro.telemetry.spans import SpanBase
 
 __all__ = ["GatherCollector"]
 
@@ -50,6 +52,7 @@ class _GatherRound:
     #: root-only fields
     on_result: Callable[[Any], None] | None = None
     is_root: bool = False
+    span: SpanBase | None = None
 
 
 class GatherCollector:
@@ -118,6 +121,14 @@ class GatherCollector:
         round_state = self._rounds[round_id]
         round_state.is_root = True
         round_state.on_result = on_result
+        round_state.span = telemetry.span(
+            "dat.gather",
+            node=self.ident,
+            key=key,
+            round_id=round_id,
+            aggregate=agg.name,
+            waves=waves,
+        )
         # Finalization fires one interval after the last wave arrives.
         self.dat.host.transport.schedule(
             (waves + 2) * wave_interval, lambda: self._finalize(round_id)
@@ -130,6 +141,9 @@ class GatherCollector:
             return
         states = [round_state.local_state, *round_state.child_states.values()]
         merged = round_state.aggregate.merge_all(states)
+        if round_state.span is not None:
+            round_state.span.finish(n_children=len(round_state.child_states))
+            telemetry.count("gather_rounds_total")
         round_state.on_result(round_state.aggregate.finalize(merged))
 
     # ------------------------------------------------------------------ #

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, cast
 
+from repro import telemetry
 from repro.chord.fingers import FingerTable
 from repro.chord.host import ChordHost
 from repro.chord.idspace import IdSpace
@@ -38,6 +39,7 @@ from repro.core.parent import select_parent_balanced, select_parent_basic
 from repro.errors import AggregationError, TreeError
 from repro.sim.messages import Message
 from repro.sim.transport import Transport
+from repro.telemetry.spans import SpanBase
 
 __all__ = ["StandaloneDatHost", "DatNodeService", "OnDemandRound"]
 
@@ -109,6 +111,7 @@ class OnDemandRound:
     expected: set[int]
     states: list[Any] = field(default_factory=list)
     done: bool = False
+    span: SpanBase | None = None
 
 
 @dataclass
@@ -313,6 +316,7 @@ class DatNodeService:
         if parent is None:
             return  # lone ring or mid-churn transient: skip this round
         state.pushes_sent += 1
+        telemetry.count("agg_pushes_total")
         # Partial states are JSON-encodable for the built-in aggregates
         # (numbers / tuples of numbers / dataclass-free forms); the wire
         # layer enforces it when the transport actually serializes.
@@ -376,6 +380,13 @@ class DatNodeService:
             aggregate=agg,
             on_result=on_result,
             expected=set(children),
+        )
+        state.span = telemetry.span(
+            "dat.collect",
+            node=self.ident,
+            key=key,
+            round_id=round_id,
+            n_children=len(children),
         )
         state.states.append(agg.lift(self.value_provider()))
         self._rounds[(key, round_id)] = state
@@ -474,6 +485,9 @@ class DatNodeService:
         round_state.done = True
         del self._rounds[(round_state.key, round_state.round_id)]
         merged = round_state.aggregate.merge_all(round_state.states)
+        if round_state.span is not None:
+            round_state.span.finish(n_states=len(round_state.states))
+            telemetry.count("collect_rounds_total")
         round_state.on_result(round_state.aggregate.finalize(merged))
 
 

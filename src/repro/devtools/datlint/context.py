@@ -131,11 +131,13 @@ class FileContext:
         """Modules allowed to write to stdout (DAT004 exemptions).
 
         CLI entry points (``cli``/``__main__`` modules), the experiment
-        harnesses, the text renderer :mod:`repro.viz`, and devtools (this
-        linter's own CLI prints its report).
+        harnesses, the text renderer :mod:`repro.viz`, devtools (this
+        linter's own CLI prints its report), and the telemetry report CLI
+        (``python -m repro.telemetry.report`` prints summary tables).
         """
         last = self.module.rsplit(".", 1)[-1]
         return (
             last in ("cli", "__main__", "viz")
+            or self.module_is("repro.telemetry.report")
             or self.module_under("repro.experiments", "repro.devtools")
         )

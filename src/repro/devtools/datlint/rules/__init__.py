@@ -8,6 +8,7 @@ from repro.devtools.datlint.rules import (  # noqa: F401  (import-for-effect)
     dat005_blocking,
     dat006_mutable_defaults,
     dat007_excepts,
+    dat008_simclock,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "dat005_blocking",
     "dat006_mutable_defaults",
     "dat007_excepts",
+    "dat008_simclock",
 ]

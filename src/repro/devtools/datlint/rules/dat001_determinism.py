@@ -1,9 +1,9 @@
-"""DAT001 — deterministic randomness and clocks.
+"""DAT001 — deterministic randomness.
 
 The paper's figures (7–9) are replicated from seeded runs; bit-identical
 replays require every random draw to flow from a seed threaded through
-:mod:`repro.util.rng` and every timestamp to come from the virtual clock
-(``transport.now()``), never the wall clock.
+:mod:`repro.util.rng`. Wall-clock reads — the other determinism hazard —
+are owned by DAT008 (one rule, one concern).
 """
 
 from __future__ import annotations
@@ -18,20 +18,6 @@ from repro.devtools.datlint.registry import Rule, register
 
 #: Modules allowed to touch entropy sources directly.
 _EXEMPT_MODULES = ("repro.util.rng",)
-
-#: Dotted call names that read the wall clock (non-deterministic).
-_WALL_CLOCK_CALLS = {
-    "time.time",
-    "time.time_ns",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "date.today",
-    "datetime.date.today",
-}
 
 #: Functions on numpy's *global* RNG — unseeded shared state.
 _NUMPY_GLOBAL_FUNCS = {
@@ -55,8 +41,8 @@ class DeterminismRule(Rule):
     name = "determinism"
     rationale = (
         "Fig. 7-9 replications must be bit-identical run-to-run: no stdlib "
-        "`random`, no wall-clock reads, no argless/global numpy RNGs. "
-        "Thread seeds through repro.util.rng instead."
+        "`random`, no argless/global numpy RNGs. Thread seeds through "
+        "repro.util.rng instead."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
@@ -90,14 +76,6 @@ class DeterminismRule(Rule):
     ) -> Iterator[Diagnostic]:
         dotted = call_dotted(node)
         if dotted is None:
-            return
-        if dotted in _WALL_CLOCK_CALLS:
-            yield self.diagnostic(
-                ctx,
-                node,
-                f"wall-clock read `{dotted}()`; simulated components must "
-                "use the transport's virtual clock (`transport.now()`)",
-            )
             return
         parts = dotted.split(".")
         # Argless default_rng() seeds from OS entropy — unreproducible.

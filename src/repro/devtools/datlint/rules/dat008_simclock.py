@@ -1,0 +1,99 @@
+"""DAT008 — sim-clock discipline: no wall-clock reads in library code.
+
+Telemetry timestamps, simulated components, and every experiment artifact
+must be bit-identical across replays of a seeded run. A single
+``time.time()`` (or ``monotonic()``, ``perf_counter()``,
+``datetime.now()``, ...) read poisons that property, so the whole clock
+family is banned in ``src/``: time comes from the transport's virtual
+clock (``transport.now()``) or the bound telemetry clock
+(``repro.telemetry``). Timing *measurement* belongs in ``benchmarks/``,
+which datlint does not check.
+
+The one sanctioned boundary is :mod:`repro.sim.udprpc`, whose real-socket
+substrate has no virtual clock — its single ``time.monotonic()`` carries a
+line-level ``# datlint: disable=DAT008`` marking the exemption where it
+happens rather than in an invisible module allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.astutils import call_dotted
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+#: Dotted call names that read a process/wall clock.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+}
+
+#: Names whose ``from time import ...`` form hides the clock behind a bare
+#: call the dotted matcher cannot see — ban the import itself.
+_TIME_FROM_IMPORTS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "clock_gettime",
+    "clock_gettime_ns",
+}
+
+
+@register
+class SimClockRule(Rule):
+    code = "DAT008"
+    name = "sim-clock"
+    rationale = (
+        "Telemetry and simulated components must timestamp from the virtual "
+        "clock (transport.now() / the bound telemetry clock); wall-clock "
+        "reads make seeded runs non-replayable."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FROM_IMPORTS:
+                            yield self.diagnostic(
+                                ctx,
+                                node,
+                                f"`from time import {alias.name}` smuggles a "
+                                "wall-clock read past the call matcher; use "
+                                "the transport's virtual clock "
+                                "(`transport.now()`)",
+                            )
+            elif isinstance(node, ast.Call):
+                dotted = call_dotted(node)
+                if dotted in _CLOCK_CALLS:
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"wall-clock read `{dotted}()`; library code must "
+                        "use the transport's virtual clock "
+                        "(`transport.now()`) or the bound telemetry clock",
+                    )

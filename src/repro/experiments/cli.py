@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import Callable
 
+from repro import telemetry
 from repro.experiments.churn_overhead import run_churn_overhead
 from repro.experiments.dynamics import run_dynamics
 from repro.experiments.fig7_tree_properties import (
@@ -185,15 +186,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quick", action="store_true", help="small fast configs")
     parser.add_argument("--nodes", type=int, default=512, help="network size where applicable")
     parser.add_argument("--seed", type=int, default=2007, help="master seed")
+    parser.add_argument(
+        "--telemetry-jsonl",
+        metavar="PATH",
+        help="enable telemetry and write the JSONL event stream here",
+    )
+    parser.add_argument(
+        "--telemetry-prom",
+        metavar="PATH",
+        help="enable telemetry and write the Prometheus text export here",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    tel = None
+    if args.telemetry_jsonl or args.telemetry_prom:
+        tel = telemetry.configure(enabled=True)
     for name in names:
         print(EXPERIMENTS[name](args))
         print()
+    if tel is not None:
+        if args.telemetry_jsonl:
+            with open(args.telemetry_jsonl, "w", encoding="utf-8") as handle:
+                telemetry.write_jsonl(tel, handle)
+        if args.telemetry_prom:
+            with open(args.telemetry_prom, "w", encoding="utf-8") as handle:
+                telemetry.write_prometheus(tel, handle)
+        telemetry.disable()
     return 0
 
 

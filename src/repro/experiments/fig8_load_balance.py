@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.baselines.centralized import centralized_routed_loads
 from repro.chord.idgen import make_assigner
 from repro.chord.idspace import IdSpace
@@ -86,6 +87,26 @@ def _scheme_loads(
     return centralized, basic, balanced
 
 
+def _record_scheme_loads(scheme: str, loads: dict[int, int]) -> None:
+    """Publish one scheme's per-node loads through the hotspot accountants.
+
+    The experiment's analytic loads flow into the same accounting path the
+    transports feed message-by-message (attributed as sends), so the
+    Prometheus/JSONL export reconstructs the Fig. 8 distribution exactly —
+    the "reproducible from exported telemetry alone" property the
+    integration test asserts.
+    """
+    tel = telemetry.active()
+    if tel is None:
+        return
+    accountant = tel.hotspots(f"fig8.{scheme}")
+    for node, load in loads.items():
+        accountant.add_load(node, sent=load)
+    accountant.sample(tel.now())
+    telemetry.gauge_set("fig8a_imbalance", accountant.imbalance(), scheme=scheme)
+    telemetry.gauge_set("fig8a_max_load", float(accountant.max_load()), scheme=scheme)
+
+
 def run_fig8a_message_distribution(
     n_nodes: int = 512,
     bits: int = 32,
@@ -94,13 +115,19 @@ def run_fig8a_message_distribution(
     key: int = 0xA5A5A5,
 ) -> Fig8Distribution:
     """Regenerate the Fig. 8(a) rank-ordered distributions."""
-    centralized, basic, balanced = _scheme_loads(n_nodes, bits, seed, id_strategy, key)
-    return Fig8Distribution(
-        n_nodes=n_nodes,
-        centralized=[load for _node, load in load_distribution(centralized)],
-        basic=[load for _node, load in load_distribution(basic)],
-        balanced=[load for _node, load in load_distribution(balanced)],
-    )
+    with telemetry.span("experiment.fig8a", n=n_nodes, seed=seed):
+        centralized, basic, balanced = _scheme_loads(
+            n_nodes, bits, seed, id_strategy, key
+        )
+        _record_scheme_loads("centralized", centralized)
+        _record_scheme_loads("basic", basic)
+        _record_scheme_loads("balanced", balanced)
+        return Fig8Distribution(
+            n_nodes=n_nodes,
+            centralized=[load for _node, load in load_distribution(centralized)],
+            basic=[load for _node, load in load_distribution(basic)],
+            balanced=[load for _node, load in load_distribution(balanced)],
+        )
 
 
 def run_fig8b_imbalance_sweep(
@@ -115,20 +142,27 @@ def run_fig8b_imbalance_sweep(
     sizes = sizes if sizes is not None else [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
     seeds = spawn_seeds(master_seed, n_seeds)
     points: list[Fig8ImbalancePoint] = []
-    for n_nodes in sizes:
-        samples = [
-            tuple(
-                imbalance_factor(loads)
-                for loads in _scheme_loads(n_nodes, bits, seed, id_strategy, key)
-            )
-            for seed in seeds
-        ]
-        points.append(
-            Fig8ImbalancePoint(
+    with telemetry.span("experiment.fig8b", n_sizes=len(sizes), n_seeds=n_seeds):
+        for n_nodes in sizes:
+            samples = [
+                tuple(
+                    imbalance_factor(loads)
+                    for loads in _scheme_loads(n_nodes, bits, seed, id_strategy, key)
+                )
+                for seed in seeds
+            ]
+            point = Fig8ImbalancePoint(
                 n_nodes=n_nodes,
                 centralized=sum(s[0] for s in samples) / n_seeds,
                 basic=sum(s[1] for s in samples) / n_seeds,
                 balanced=sum(s[2] for s in samples) / n_seeds,
             )
-        )
+            points.append(point)
+            if telemetry.is_enabled():
+                for scheme, value in point.as_row().items():
+                    if scheme == "n":
+                        continue
+                    telemetry.gauge_set(
+                        "fig8b_imbalance", value, scheme=scheme, n=n_nodes
+                    )
     return points

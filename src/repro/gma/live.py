@@ -15,6 +15,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.chord.broadcast import BroadcastService
 from repro.chord.hashing import sha1_id
 from repro.chord.idgen import make_assigner
@@ -157,13 +158,21 @@ class LiveGridMonitor:
         """Routed range query; blocks virtual time until resolved."""
         source = origin if origin is not None else next(iter(self.maan))
         results: list[QueryResult] = []
-        self.maan[source].range_query(
-            RangeQuery(attribute=attribute, low=low, high=high), results.append
-        )
-        self.run(settle)
-        if not results:
-            raise MonitoringError("query did not resolve in time")
-        return results[0]
+        with telemetry.span(
+            "gma.live.search", node=source, attribute=attribute
+        ) as sp:
+            self.maan[source].range_query(
+                RangeQuery(attribute=attribute, low=low, high=high), results.append
+            )
+            self.run(settle)
+            if not results:
+                raise MonitoringError("query did not resolve in time")
+            if sp is not telemetry.NULL_SPAN:
+                sp.set(
+                    hops=results[0].lookup_hops,
+                    n_resources=len(results[0].resources),
+                )
+            return results[0]
 
     # ------------------------------------------------------------------ #
     # Aggregation
@@ -194,10 +203,21 @@ class LiveGridMonitor:
             else ceil_log2(max(len(self.network.nodes), 2)) + 4
         )
         results: list[Any] = []
-        self.collectors[root].collect(
-            key, aggregate, results.append, waves=n_waves, wave_interval=wave_interval
-        )
-        self.run((n_waves + 4) * wave_interval)
+        with telemetry.span(
+            "gma.live.aggregate",
+            attribute=attribute,
+            key=key,
+            root=root,
+            waves=n_waves,
+        ):
+            self.collectors[root].collect(
+                key,
+                aggregate,
+                results.append,
+                waves=n_waves,
+                wave_interval=wave_interval,
+            )
+            self.run((n_waves + 4) * wave_interval)
         if not results:
             raise MonitoringError("aggregation round did not complete in time")
         return results[0]

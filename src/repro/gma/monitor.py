@@ -13,6 +13,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.chord.hashing import sha1_id
 from repro.chord.idgen import make_assigner
 from repro.chord.idspace import IdSpace
@@ -157,24 +158,36 @@ class GridMonitor:
         """
         self.require_full_coverage()
         agg = get_aggregate(aggregate, **agg_kwargs)
-        tree = self.tree_for(attribute)
+        with telemetry.span(
+            "gma.aggregate", attribute=attribute, aggregate=agg.name, t=t
+        ) as sp:
+            tree = self.tree_for(attribute)
 
-        # Bottom-up merge in decreasing-depth order.
-        depths = tree.depths()
-        states: dict[int, Any] = {
-            node: agg.lift(self.producers[node].read(attribute, t))
-            for node in tree.nodes()
-        }
-        for node in sorted(tree.parent, key=lambda v: depths[v], reverse=True):
-            parent = tree.parent[node]
-            states[parent] = agg.merge(states[parent], states[node])
-        value = agg.finalize(states[tree.root])
-        return AggregateOutcome(
-            attribute=attribute,
-            value=value,
-            tree=tree,
-            message_loads=tree.message_loads(),
-        )
+            # Bottom-up merge in decreasing-depth order.
+            depths = tree.depths()
+            states: dict[int, Any] = {
+                node: agg.lift(self.producers[node].read(attribute, t))
+                for node in tree.nodes()
+            }
+            for node in sorted(tree.parent, key=lambda v: depths[v], reverse=True):
+                parent = tree.parent[node]
+                states[parent] = agg.merge(states[parent], states[node])
+            value = agg.finalize(states[tree.root])
+            outcome = AggregateOutcome(
+                attribute=attribute,
+                value=value,
+                tree=tree,
+                message_loads=tree.message_loads(),
+            )
+            if sp is not telemetry.NULL_SPAN:
+                sp.set(
+                    key=tree.key,
+                    root=tree.root,
+                    n_nodes=tree.n_nodes,
+                    height=tree.height,
+                )
+                telemetry.count("gma_aggregations_total", attribute=attribute)
+            return outcome
 
     def actual_aggregate(
         self, attribute: str, aggregate: str = "avg", t: float = 0.0, **agg_kwargs

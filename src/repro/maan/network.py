@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro import telemetry
 from repro.chord.fingers import FingerTable
 from repro.chord.ring import StaticRing
 from repro.chord.routing import finger_route
@@ -158,20 +159,31 @@ class MaanNetwork:
             raise QueryError(f"attribute {query.attribute!r} does not support ranges")
         hasher = self._hashers[query.attribute]
         start_key = hasher(schema.validate_value(query.low))
-        route = finger_route(self.ring, source, start_key, tables=self.tables)
-        result = QueryResult(lookup_hops=route.hops)
-        seen: set[str] = set()
-        for node in self.arc_nodes(query.attribute, query.low, query.high):
-            result.nodes_visited += 1
-            for resource in self.stores[node].scan(
-                query.attribute, query.low, query.high
-            ):
-                if resource.resource_id not in seen:
-                    seen.add(resource.resource_id)
-                    result.resources.append(resource)
-        # The walk's first node was reached by the lookup itself.
-        result.nodes_visited = max(result.nodes_visited - 1, 0)
-        return result
+        with telemetry.span(
+            "maan.range_query", node=source, attribute=query.attribute
+        ) as sp:
+            route = finger_route(self.ring, source, start_key, tables=self.tables)
+            result = QueryResult(lookup_hops=route.hops)
+            seen: set[str] = set()
+            for node in self.arc_nodes(query.attribute, query.low, query.high):
+                result.nodes_visited += 1
+                for resource in self.stores[node].scan(
+                    query.attribute, query.low, query.high
+                ):
+                    if resource.resource_id not in seen:
+                        seen.add(resource.resource_id)
+                        result.resources.append(resource)
+            # The walk's first node was reached by the lookup itself.
+            result.nodes_visited = max(result.nodes_visited - 1, 0)
+            if sp is not telemetry.NULL_SPAN:
+                sp.set(
+                    hops=result.lookup_hops,
+                    nodes_visited=result.nodes_visited,
+                    n_resources=len(result.resources),
+                )
+                telemetry.count("maan_queries_total", kind="range")
+                telemetry.observe("maan_query_hops", result.lookup_hops)
+            return result
 
     def estimate_selectivity(self, query: RangeQuery) -> float:
         """Domain-fraction selectivity of one sub-query (for dominance choice)."""
@@ -192,19 +204,35 @@ class MaanNetwork:
         schema = self._schema(dominant.attribute)
         hasher = self._hashers[dominant.attribute]
         start_key = hasher(schema.validate_value(dominant.low))
-        route = finger_route(self.ring, source, start_key, tables=self.tables)
-        result = QueryResult(lookup_hops=route.hops)
-        seen: set[str] = set()
-        for node in self.arc_nodes(dominant.attribute, dominant.low, dominant.high):
-            result.nodes_visited += 1
-            for resource in self.stores[node].scan(
+        with telemetry.span(
+            "maan.multi_query",
+            node=source,
+            attribute=dominant.attribute,
+            n_sub_queries=len(query.sub_queries),
+        ) as sp:
+            route = finger_route(self.ring, source, start_key, tables=self.tables)
+            result = QueryResult(lookup_hops=route.hops)
+            seen: set[str] = set()
+            for node in self.arc_nodes(
                 dominant.attribute, dominant.low, dominant.high
             ):
-                if resource.resource_id not in seen and query.matches(resource):
-                    seen.add(resource.resource_id)
-                    result.resources.append(resource)
-        result.nodes_visited = max(result.nodes_visited - 1, 0)
-        return result
+                result.nodes_visited += 1
+                for resource in self.stores[node].scan(
+                    dominant.attribute, dominant.low, dominant.high
+                ):
+                    if resource.resource_id not in seen and query.matches(resource):
+                        seen.add(resource.resource_id)
+                        result.resources.append(resource)
+            result.nodes_visited = max(result.nodes_visited - 1, 0)
+            if sp is not telemetry.NULL_SPAN:
+                sp.set(
+                    hops=result.lookup_hops,
+                    nodes_visited=result.nodes_visited,
+                    n_resources=len(result.resources),
+                )
+                telemetry.count("maan_queries_total", kind="multi")
+                telemetry.observe("maan_query_hops", result.lookup_hops)
+            return result
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -24,11 +24,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.errors import QueryError, SchemaError
 from repro.maan.attrs import AttributeKind, AttributeSchema, Resource
 from repro.maan.query import MultiAttributeQuery, QueryResult, RangeQuery
 from repro.maan.store import ResourceStore
 from repro.sim.messages import Message
+from repro.telemetry.spans import SpanBase
 
 __all__ = ["MaanNodeService"]
 
@@ -42,6 +44,7 @@ class _PendingQuery:
     query: RangeQuery
     on_result: Callable[[QueryResult], None]
     lookup_hops: int = 0
+    span: SpanBase | None = None
 
 
 class MaanNodeService:
@@ -194,7 +197,16 @@ class MaanNodeService:
         low_key = hasher(schema.validate_value(query.low))
         high_key = hasher(schema.validate_value(query.high))
         query_id = next(_QUERY_IDS)
-        self._pending[query_id] = _PendingQuery(query=query, on_result=on_result)
+        self._pending[query_id] = _PendingQuery(
+            query=query,
+            on_result=on_result,
+            span=telemetry.span(
+                "maan.live_query",
+                node=self.ident,
+                attribute=query.attribute,
+                query_id=query_id,
+            ),
+        )
 
         def on_start(start: int, path: list[int]) -> None:
             pending = self._pending.get(query_id)
@@ -225,6 +237,8 @@ class MaanNodeService:
         def on_failure(_key: int) -> None:
             pending = self._pending.pop(query_id, None)
             if pending is not None:
+                if pending.span is not None:
+                    pending.span.finish(failed=True)
                 pending.on_result(QueryResult())  # empty: lookup failed
 
         self.lookup_fn(low_key, on_start, on_failure)
@@ -328,11 +342,18 @@ class MaanNodeService:
                         attributes=entry["attributes"],
                     )
                 )
-        pending.on_result(
-            QueryResult(
-                resources=resources,
-                lookup_hops=pending.lookup_hops,
-                nodes_visited=max(payload["visited"] - 1, 0),
-            )
+        result = QueryResult(
+            resources=resources,
+            lookup_hops=pending.lookup_hops,
+            nodes_visited=max(payload["visited"] - 1, 0),
         )
+        if pending.span is not None:
+            pending.span.finish(
+                hops=result.lookup_hops,
+                nodes_visited=result.nodes_visited,
+                n_resources=len(result.resources),
+            )
+            telemetry.count("maan_queries_total", kind="live")
+            telemetry.observe("maan_query_hops", result.lookup_hops)
+        pending.on_result(result)
         return None

@@ -12,6 +12,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.sim.engine import SimulationEngine
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.messages import Message
@@ -52,6 +53,13 @@ class SimTransport(Transport):
         self.loss_rate = float(loss_rate)
         self._rng = ensure_rng(rng)
         self._failed: set[int] = set()
+        tel = telemetry.active()
+        if tel is not None:
+            # The engine's virtual clock becomes the telemetry time source,
+            # and the transport's counters double as the "transport"
+            # hotspot accountant — one accounting path, two consumers.
+            tel.bind_clock(self.now)
+            tel.register_hotspots("transport", self.stats)
 
     def now(self) -> float:
         return self.engine.now
@@ -79,6 +87,7 @@ class SimTransport(Transport):
     def send(self, message: Message) -> None:
         size = message.encoded_size()
         self.stats.record_send(message.source, size, kind=message.kind)
+        telemetry.count("messages_sent_total", kind=message.kind)
         if message.source in self._failed or message.destination in self._failed:
             return
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
@@ -90,6 +99,7 @@ class SimTransport(Transport):
             if not message.is_response and not self.is_registered(message.destination):
                 return
             self.stats.record_receive(message.destination, size)
+            telemetry.count("messages_received_total", kind=message.kind)
             self._dispatch(message)
 
         delay = self.latency.sample(message.source, message.destination)

@@ -4,100 +4,23 @@ Every transport owns a :class:`MessageStats`; the experiment harness reads
 sends/receives per node, computes the Fig. 8 distributions, and resets
 between rounds. Counting lives in the transport so that application layers
 cannot forget to account for a message.
+
+This module is now a thin compatibility shim: the implementation moved to
+:class:`repro.telemetry.hotspot.HotspotAccountant`, which keeps the whole
+historical API (``record_send`` / ``record_receive`` / ``load`` / ``loads``
+/ ``by_kind`` / ``reset``), guards *every* public method with the lock
+(the seed locked writes only, so readers racing the threaded ``udprpc``
+receive thread could observe torn send/receive pairs), and adds the
+load-balance statistics (``max_load``, ``percentile``, ``imbalance``,
+``sample``) that the telemetry exporters publish.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import defaultdict
-from dataclasses import dataclass
+from repro.telemetry.hotspot import HotspotAccountant, NodeLoad
 
 __all__ = ["MessageStats", "NodeLoad"]
 
 
-@dataclass(frozen=True)
-class NodeLoad:
-    """Message/byte totals for one node."""
-
-    sent: int
-    received: int
-    bytes_sent: int
-    bytes_received: int
-
-    @property
-    def total(self) -> int:
-        """Sent + received messages — the Fig. 8 'aggregation messages' load."""
-        return self.sent + self.received
-
-
-class MessageStats:
-    """Mutable per-node send/receive counters."""
-
-    def __init__(self) -> None:
-        self._sent: dict[int, int] = defaultdict(int)
-        self._received: dict[int, int] = defaultdict(int)
-        self._bytes_sent: dict[int, int] = defaultdict(int)
-        self._bytes_received: dict[int, int] = defaultdict(int)
-        self._by_kind: dict[str, int] = defaultdict(int)
-        # The UDP transport updates counters from caller threads and its
-        # receive thread concurrently; dict-entry increments are not atomic.
-        self._lock = threading.Lock()
-
-    def record_send(self, node: int, size: int = 0, kind: str | None = None) -> None:
-        """Count one message (of ``size`` bytes, of ``kind``) sent by ``node``."""
-        with self._lock:
-            self._sent[node] += 1
-            self._bytes_sent[node] += size
-            if kind is not None:
-                self._by_kind[kind] += 1
-
-    def record_receive(self, node: int, size: int = 0) -> None:
-        """Count one message (of ``size`` bytes) received by ``node``."""
-        with self._lock:
-            self._received[node] += 1
-            self._bytes_received[node] += size
-
-    def load(self, node: int) -> NodeLoad:
-        """Totals for one node (zeros if it never appeared)."""
-        return NodeLoad(
-            sent=self._sent.get(node, 0),
-            received=self._received.get(node, 0),
-            bytes_sent=self._bytes_sent.get(node, 0),
-            bytes_received=self._bytes_received.get(node, 0),
-        )
-
-    def nodes(self) -> set[int]:
-        """Every node that sent or received at least one message."""
-        return set(self._sent) | set(self._received)
-
-    def total_messages(self) -> int:
-        """Total messages observed (each counted once, at the sender)."""
-        return sum(self._sent.values())
-
-    def loads(self, nodes: list[int] | None = None) -> dict[int, int]:
-        """Per-node total (sent + received) message counts.
-
-        Pass the full node list to include zero-load nodes — Fig. 8's
-        averages are over *all* nodes, idle ones included.
-        """
-        population = self.nodes() if nodes is None else nodes
-        return {node: self.load(node).total for node in population}
-
-    def by_kind(self) -> dict[str, int]:
-        """Messages sent, broken down by message kind.
-
-        Only populated by transports that pass ``kind`` to
-        :meth:`record_send` (the simulated transport does) — used to show
-        that DAT adds zero tree-maintenance message kinds on top of Chord's.
-        """
-        with self._lock:
-            return dict(self._by_kind)
-
-    def reset(self) -> None:
-        """Zero every counter (between experiment rounds)."""
-        with self._lock:
-            self._sent.clear()
-            self._received.clear()
-            self._bytes_sent.clear()
-            self._bytes_received.clear()
-            self._by_kind.clear()
+class MessageStats(HotspotAccountant):
+    """Mutable per-node send/receive counters (alias of the telemetry class)."""

@@ -20,6 +20,7 @@ import threading
 import time
 from typing import Callable
 
+from repro import telemetry
 from repro.errors import TransportError
 from repro.sim.messages import Message, decode_message, encode_message
 from repro.sim.transport import MessageHandler, Transport
@@ -55,6 +56,11 @@ class UdpRpcTransport(Transport):
         self._wake_recv.setblocking(False)
         self._wake_addr = self._wake_recv.getsockname()
         self._selector.register(self._wake_recv, selectors.EVENT_READ, None)
+        tel = telemetry.active()
+        if tel is not None:
+            # Counters only: the telemetry clock stays unbound here — the
+            # sim clock is the only sanctioned timestamp source (DAT008).
+            tel.register_hotspots("transport", self.stats)
         self._thread = threading.Thread(
             target=self._receive_loop, name="udprpc-recv", daemon=True
         )
@@ -151,7 +157,9 @@ class UdpRpcTransport(Transport):
     # ------------------------------------------------------------------ #
 
     def now(self) -> float:
-        return time.monotonic()
+        # The real-socket substrate's time *is* the wall clock — this is
+        # the one sanctioned boundary; telemetry never binds to it.
+        return time.monotonic()  # datlint: disable=DAT008
 
     def send(self, message: Message) -> None:
         if self._closed:
@@ -162,6 +170,7 @@ class UdpRpcTransport(Transport):
                 f"message of {len(data)} bytes exceeds the UDP datagram budget"
             )
         self.stats.record_send(message.source, len(data))
+        telemetry.count("messages_sent_total", kind=message.kind)
         with self._lock:
             route = self._routes.get(message.destination)
             sock = self._sockets.get(message.source)
@@ -226,6 +235,7 @@ class UdpRpcTransport(Transport):
                 except TransportError:
                     continue  # malformed datagram: drop
                 self.stats.record_receive(message.destination, len(data))
+                telemetry.count("messages_received_total", kind=message.kind)
                 try:
                     self._dispatch(message)
                 except Exception:  # noqa: BLE001  # datlint: disable=DAT007 - a handler bug must not

@@ -1,0 +1,76 @@
+"""Telemetry configuration.
+
+One frozen dataclass holds every knob; the runtime installs a
+:class:`~repro.telemetry.runtime.Telemetry` built from it (see
+:func:`repro.telemetry.configure`). Telemetry is **disabled by default** —
+the no-op path is a single module-global read per instrumentation site,
+gated in CI by ``benchmarks/bench_telemetry_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TelemetryConfig", "DEFAULT_PERCENTILES"]
+
+#: Percentile grid reported by hotspot load samples (Fig. 8 analogue).
+DEFAULT_PERCENTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Everything the telemetry runtime needs to know.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch. ``False`` (the default) keeps every instrumentation
+        site on the no-op path.
+    max_spans:
+        Cap on retained finished spans; once full, the oldest are dropped
+        and :attr:`~repro.telemetry.spans.SpanRecorder.dropped` counts the
+        overflow. Bounded so long sweeps cannot exhaust memory.
+    histogram_start, histogram_factor, histogram_count:
+        The fixed log-spaced histogram bucket grid: upper bounds
+        ``start * factor**i`` for ``i in range(count)`` (plus +Inf).
+    percentiles:
+        Percentile grid computed by hotspot load samples.
+    namespace:
+        Prefix every exported metric name must carry (Prometheus
+        convention); :meth:`MetricsRegistry.counter` prepends it when the
+        caller omits it.
+    """
+
+    enabled: bool = False
+    max_spans: int = 100_000
+    histogram_start: float = 1.0
+    histogram_factor: float = 2.0
+    histogram_count: int = 20
+    percentiles: tuple[float, ...] = DEFAULT_PERCENTILES
+    namespace: str = "repro"
+
+    def __post_init__(self) -> None:
+        if self.max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {self.max_spans}")
+        if self.histogram_start <= 0:
+            raise ValueError(
+                f"histogram_start must be positive, got {self.histogram_start}"
+            )
+        if self.histogram_factor <= 1:
+            raise ValueError(
+                f"histogram_factor must exceed 1, got {self.histogram_factor}"
+            )
+        if self.histogram_count <= 0:
+            raise ValueError(
+                f"histogram_count must be positive, got {self.histogram_count}"
+            )
+        for q in self.percentiles:
+            if not 0.0 < q < 1.0:
+                raise ValueError(f"percentiles must lie in (0, 1), got {q}")
+
+    def default_buckets(self) -> tuple[float, ...]:
+        """The log-spaced histogram bucket upper bounds (excluding +Inf)."""
+        return tuple(
+            self.histogram_start * self.histogram_factor**i
+            for i in range(self.histogram_count)
+        )

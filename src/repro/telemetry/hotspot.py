@@ -1,0 +1,263 @@
+"""Per-node hotspot accounting — the runtime analogue of Fig. 8.
+
+:class:`HotspotAccountant` subsumes the transport-level message counters
+(``sim.stats.MessageStats`` is now a thin shim over it) and adds the load
+statistics the paper's Sec. 5.3 evaluation is built on: rolling max and
+percentile load across nodes, and the imbalance factor (max load divided by
+average load) as a time series sampled on the sim clock.
+
+All public methods take the accountant's lock: the threaded UDP transport
+increments counters from its receive thread while callers read them, and a
+read that straddles a torn pair of dict updates would mis-state a node's
+load. The discrete-event transport is single-threaded, where the
+uncontended lock costs a few tens of nanoseconds per message.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.telemetry.config import DEFAULT_PERCENTILES
+
+__all__ = ["NodeLoad", "LoadSample", "HotspotAccountant", "percentile"]
+
+
+@dataclass(frozen=True)
+class NodeLoad:
+    """Message/byte totals for one node."""
+
+    sent: int
+    received: int
+    bytes_sent: int
+    bytes_received: int
+
+    @property
+    def total(self) -> int:
+        """Sent + received messages — the Fig. 8 'aggregation messages' load."""
+        return self.sent + self.received
+
+
+@dataclass(frozen=True)
+class LoadSample:
+    """One point on the load-balance time series.
+
+    ``imbalance`` is max load over mean load — the paper's load-balance
+    metric (Fig. 8b); 1.0 means perfectly even, n means one node carries
+    everything.
+    """
+
+    at: float
+    n_nodes: int
+    total: int
+    mean: float
+    maximum: int
+    imbalance: float
+    percentiles: tuple[tuple[float, float], ...]
+
+    def percentile(self, q: float) -> float:
+        """Look up one recorded percentile (KeyError if not in the grid)."""
+        for grid_q, value in self.percentiles:
+            if grid_q == q:
+                return value
+        raise KeyError(f"percentile {q} not recorded (grid: "
+                       f"{tuple(g for g, _ in self.percentiles)})")
+
+
+def percentile(values: list[int] | list[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``q`` in (0, 1))."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"q must lie in (0, 1), got {q}")
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return float(ordered[lower]) * (1.0 - weight) + float(ordered[upper]) * weight
+
+
+class HotspotAccountant:
+    """Mutable per-node send/receive counters plus load-balance statistics.
+
+    A superset of the historical ``MessageStats`` API: transports call
+    :meth:`record_send`/:meth:`record_receive` per message; experiments may
+    instead attribute precomputed loads with :meth:`add_load`. Statistics
+    (:meth:`max_load`, :meth:`percentile`, :meth:`imbalance`) and snapshots
+    (:meth:`sample`) read the same counters.
+    """
+
+    def __init__(
+        self, percentiles: tuple[float, ...] = DEFAULT_PERCENTILES
+    ) -> None:
+        self.percentile_grid = percentiles
+        self._sent: dict[int, int] = defaultdict(int)
+        self._received: dict[int, int] = defaultdict(int)
+        self._bytes_sent: dict[int, int] = defaultdict(int)
+        self._bytes_received: dict[int, int] = defaultdict(int)
+        self._by_kind: dict[str, int] = defaultdict(int)
+        self.series: list[LoadSample] = []
+        # The UDP transport updates counters from caller threads and its
+        # receive thread concurrently; dict-entry increments are not atomic,
+        # and unlocked reads could observe a torn sent/received pair.
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    def record_send(self, node: int, size: int = 0, kind: str | None = None) -> None:
+        """Count one message (of ``size`` bytes, of ``kind``) sent by ``node``."""
+        with self._lock:
+            self._sent[node] += 1
+            self._bytes_sent[node] += size
+            if kind is not None:
+                self._by_kind[kind] += 1
+
+    def record_receive(self, node: int, size: int = 0) -> None:
+        """Count one message (of ``size`` bytes) received by ``node``."""
+        with self._lock:
+            self._received[node] += 1
+            self._bytes_received[node] += size
+
+    def add_load(self, node: int, sent: int = 0, received: int = 0) -> None:
+        """Attribute precomputed message counts to ``node`` in bulk.
+
+        Experiments that compute loads analytically (the Fig. 8 harness
+        derives per-node aggregation load from tree shape) use this to feed
+        the same accounting path the transports feed message-by-message.
+        """
+        if sent < 0 or received < 0:
+            raise ValueError(f"loads cannot be negative ({sent=}, {received=})")
+        with self._lock:
+            if sent:
+                self._sent[node] += sent
+            if received:
+                self._received[node] += received
+            if not sent and not received:
+                # Register the node so zero-load nodes enter the population.
+                self._sent.setdefault(node, 0)
+
+    # -- reading (MessageStats-compatible) ---------------------------------
+
+    def load(self, node: int) -> NodeLoad:
+        """Totals for one node (zeros if it never appeared)."""
+        with self._lock:
+            return NodeLoad(
+                sent=self._sent.get(node, 0),
+                received=self._received.get(node, 0),
+                bytes_sent=self._bytes_sent.get(node, 0),
+                bytes_received=self._bytes_received.get(node, 0),
+            )
+
+    def nodes(self) -> set[int]:
+        """Every node that sent or received at least one message."""
+        with self._lock:
+            return set(self._sent) | set(self._received)
+
+    def total_messages(self) -> int:
+        """Total messages observed (each counted once, at the sender)."""
+        with self._lock:
+            return sum(self._sent.values())
+
+    def loads(self, nodes: list[int] | None = None) -> dict[int, int]:
+        """Per-node total (sent + received) message counts.
+
+        Pass the full node list to include zero-load nodes — Fig. 8's
+        averages are over *all* nodes, idle ones included.
+        """
+        with self._lock:
+            population = (
+                set(self._sent) | set(self._received) if nodes is None else nodes
+            )
+            return {
+                node: self._sent.get(node, 0) + self._received.get(node, 0)
+                for node in population
+            }
+
+    def by_kind(self) -> dict[str, int]:
+        """Messages sent, broken down by message kind.
+
+        Only populated by transports that pass ``kind`` to
+        :meth:`record_send` (the simulated transport does) — used to show
+        that DAT adds zero tree-maintenance message kinds on top of Chord's.
+        """
+        with self._lock:
+            return dict(self._by_kind)
+
+    def reset(self) -> None:
+        """Zero every counter and drop the sample series."""
+        with self._lock:
+            self._sent.clear()
+            self._received.clear()
+            self._bytes_sent.clear()
+            self._bytes_received.clear()
+            self._by_kind.clear()
+            self.series.clear()
+
+    # -- load-balance statistics -------------------------------------------
+
+    def max_load(self, nodes: list[int] | None = None) -> int:
+        """Largest per-node total load (0 when nothing recorded)."""
+        totals = self.loads(nodes)
+        return max(totals.values(), default=0)
+
+    def mean_load(self, nodes: list[int] | None = None) -> float:
+        """Average per-node total load over the population (0.0 when empty)."""
+        totals = self.loads(nodes)
+        return sum(totals.values()) / len(totals) if totals else 0.0
+
+    def percentile(self, q: float, nodes: list[int] | None = None) -> float:
+        """The ``q``-th percentile of per-node total loads."""
+        totals = self.loads(nodes)
+        if not totals:
+            raise ValueError("no loads recorded")
+        return percentile(list(totals.values()), q)
+
+    def imbalance(self, nodes: list[int] | None = None) -> float:
+        """Max load over mean load — the Fig. 8b load-balance factor.
+
+        Computed inline rather than via ``repro.core.analysis`` (which
+        imports telemetry); 0.0 when nothing has been recorded yet.
+        """
+        totals = self.loads(nodes)
+        if not totals:
+            return 0.0
+        total = sum(totals.values())
+        if total == 0:
+            return 0.0
+        mean = total / len(totals)
+        return max(totals.values()) / mean
+
+    def sample(self, now: float, nodes: list[int] | None = None) -> LoadSample:
+        """Snapshot the current load distribution at sim time ``now``.
+
+        The sample is appended to :attr:`series`, building the rolling
+        imbalance-factor time series the Fig. 8 runtime analogue plots.
+        """
+        totals = self.loads(nodes)
+        values = list(totals.values())
+        total = sum(values)
+        n_nodes = len(values)
+        mean = total / n_nodes if n_nodes else 0.0
+        maximum = max(values, default=0)
+        imbalance = (maximum / mean) if mean > 0 else 0.0
+        grid = tuple(
+            (q, percentile(values, q) if values else 0.0)
+            for q in self.percentile_grid
+        )
+        point = LoadSample(
+            at=now,
+            n_nodes=n_nodes,
+            total=total,
+            mean=mean,
+            maximum=maximum,
+            imbalance=imbalance,
+            percentiles=grid,
+        )
+        with self._lock:
+            self.series.append(point)
+        return point

@@ -1,0 +1,217 @@
+"""Summary-table CLI over a telemetry JSONL export.
+
+Usage::
+
+    python -m repro.telemetry.report run.jsonl
+    python -m repro.telemetry.report run.jsonl --section spans
+    python -m repro.telemetry.report run.jsonl --top 10
+
+Reads the JSONL event stream written by
+:func:`repro.telemetry.export.write_jsonl` (e.g. via the experiment CLI's
+``--telemetry-jsonl`` flag) and prints aligned summary tables: metric
+values, span durations aggregated by name, and per-accountant hotspot load
+distributions with the Fig. 8 imbalance factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+__all__ = ["main", "build_parser", "render_report"]
+
+_SECTIONS = ("metrics", "spans", "hotspots")
+
+
+def _load_events(lines: Iterable[str]) -> list[dict[str, object]]:
+    events = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON ({exc})") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise ValueError(f"line {lineno}: not a telemetry event")
+        events.append(record)
+    return events
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> list[str]:
+    """Render an aligned plain-text table (left-justified columns)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return out
+
+
+def _metrics_section(events: list[dict[str, object]], top: int) -> list[str]:
+    metrics = [e for e in events if e["type"] == "metric"]
+    if not metrics:
+        return ["(no metrics)"]
+    rows = []
+    for event in metrics[:top] if top else metrics:
+        labels = event.get("labels") or {}
+        assert isinstance(labels, dict)
+        label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        kind = str(event["kind"])
+        value = event.get("count") if kind == "histogram" else event.get("value")
+        detail = ""
+        if kind == "histogram":
+            total = event.get("value", 0)
+            n = event.get("count", 0)
+            mean = (float(str(total)) / int(str(n))) if n else 0.0
+            detail = f"sum={total} mean={mean:.3g}"
+        rows.append(
+            [str(event["name"]), kind, label_str, str(value), detail]
+        )
+    lines = _table(["metric", "kind", "labels", "value", "detail"], rows)
+    shown = len(rows)
+    if top and len(metrics) > shown:
+        lines.append(f"... ({len(metrics) - shown} more series)")
+    return lines
+
+
+def _spans_section(events: list[dict[str, object]], top: int) -> list[str]:
+    spans = [e for e in events if e["type"] == "span"]
+    if not spans:
+        return ["(no spans)"]
+    stats: dict[str, list[float]] = defaultdict(list)
+    errors: dict[str, int] = defaultdict(int)
+    for event in spans:
+        name = str(event["name"])
+        start = event.get("start")
+        end = event.get("end")
+        if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+            stats[name].append(float(end) - float(start))
+        if event.get("error"):
+            errors[name] += 1
+    rows = []
+    ranked = sorted(stats.items(), key=lambda item: -sum(item[1]))
+    for name, durations in ranked[:top] if top else ranked:
+        total = sum(durations)
+        rows.append(
+            [
+                name,
+                str(len(durations)),
+                f"{total:.6g}",
+                f"{total / len(durations):.6g}",
+                f"{max(durations):.6g}",
+                str(errors.get(name, 0)),
+            ]
+        )
+    lines = _table(["span", "count", "total", "mean", "max", "errors"], rows)
+    if top and len(ranked) > top:
+        lines.append(f"... ({len(ranked) - top} more span names)")
+    return lines
+
+
+def _hotspots_section(events: list[dict[str, object]], top: int) -> list[str]:
+    nodes: dict[str, list[dict[str, object]]] = defaultdict(list)
+    for event in events:
+        if event["type"] == "hotspot_node":
+            nodes[str(event["accountant"])].append(event)
+    if not nodes:
+        return ["(no hotspot accountants)"]
+    lines: list[str] = []
+    for accountant in sorted(nodes):
+        records = nodes[accountant]
+        totals = [int(str(e["total"])) for e in records]
+        n = len(totals)
+        total = sum(totals)
+        mean = total / n if n else 0.0
+        maximum = max(totals, default=0)
+        imbalance = (maximum / mean) if mean > 0 else 0.0
+        lines.append(
+            f"[{accountant}] nodes={n} total={total} mean={mean:.3f} "
+            f"max={maximum} imbalance={imbalance:.3f}"
+        )
+        ranked = sorted(records, key=lambda e: -int(str(e["total"])))
+        rows = [
+            [
+                str(e["node"]),
+                str(e["sent"]),
+                str(e["received"]),
+                str(e["total"]),
+            ]
+            for e in (ranked[:top] if top else ranked)
+        ]
+        lines.extend("  " + row for row in _table(
+            ["node", "sent", "received", "total"], rows
+        ))
+        if top and len(ranked) > top:
+            lines.append(f"  ... ({len(ranked) - top} more nodes)")
+        lines.append("")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines
+
+
+def render_report(
+    events: list[dict[str, object]],
+    sections: Sequence[str] = _SECTIONS,
+    top: int = 20,
+) -> str:
+    """The full report as one string (used by tests and the CLI)."""
+    parts: list[str] = []
+    renderers = {
+        "metrics": _metrics_section,
+        "spans": _spans_section,
+        "hotspots": _hotspots_section,
+    }
+    for section in sections:
+        parts.append(f"== {section} ==")
+        parts.extend(renderers[section](events, top))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Summarize a telemetry JSONL export.",
+    )
+    parser.add_argument("path", help="JSONL file written by the telemetry exporter")
+    parser.add_argument(
+        "--section",
+        choices=_SECTIONS,
+        action="append",
+        help="limit output to one or more sections (default: all)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="rows per table, 0 for unlimited (default: 20)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            events = _load_events(handle)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.path}: {exc}", file=sys.stderr)
+        return 2
+    sections = tuple(args.section) if args.section else _SECTIONS
+    print(render_report(events, sections=sections, top=args.top), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,214 @@
+"""Span tracing: timed, attributed operations on the sim clock.
+
+A span covers one logical operation — a DAT build, an aggregation round, a
+MAAN query resolution, a churn event — with start/end timestamps from the
+telemetry clock and free-form attributes (node id, tree key, hop/depth
+counts). Two usage shapes:
+
+* context manager (synchronous work)::
+
+      with telemetry.span("dat.build", key=key, scheme="balanced") as sp:
+          tree = ...
+          sp.set(height=tree.height)
+
+* explicit start/finish (asynchronous protocol rounds that complete in a
+  later callback)::
+
+      sp = telemetry.span("dat.collect", node=self.ident, key=key)
+      ...                       # round completes messages later
+      sp.set(n_states=len(states))
+      sp.finish()
+
+Parent/child nesting is tracked per thread (the DES is single-threaded;
+the UDP transport dispatches from its own receive thread), so exported
+spans form trees without any explicit context passing.
+
+When telemetry is disabled, instrumentation sites receive the shared
+:data:`NULL_SPAN` — a stateless singleton whose every method is a no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import TracebackType
+from typing import Callable
+
+__all__ = ["SpanBase", "Span", "NullSpan", "NULL_SPAN", "SpanRecorder"]
+
+
+class SpanBase:
+    """The interface instrumentation sites program against."""
+
+    def set(self, **attrs: object) -> "SpanBase":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        return self
+
+    def finish(self, **attrs: object) -> None:
+        """End the span (idempotent); optional final attributes."""
+
+    def __enter__(self) -> "SpanBase":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.finish()
+
+
+class NullSpan(SpanBase):
+    """Stateless no-op span shared by every disabled-mode call site."""
+
+    __slots__ = ()
+
+
+#: The singleton handed out whenever telemetry is disabled.
+NULL_SPAN = NullSpan()
+
+
+class Span(SpanBase):
+    """One recorded operation."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attrs",
+        "error",
+        "_recorder",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+        recorder: "SpanRecorder",
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attrs: dict[str, object] = {}
+        self.error: str | None = None
+        self._recorder = recorder
+
+    def set(self, **attrs: object) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, **attrs: object) -> None:
+        if self.end is not None:
+            return  # idempotent: double-finish keeps the first end time
+        if attrs:
+            self.attrs.update(attrs)
+        self._recorder._finish(self)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed sim time (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if exc_type is not None and self.error is None:
+            self.error = exc_type.__name__
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class SpanRecorder:
+    """Creates spans, tracks per-thread nesting, retains finished spans.
+
+    Parameters
+    ----------
+    clock:
+        The telemetry clock (sim time).
+    max_spans:
+        Retention cap; the oldest finished spans are evicted beyond it and
+        :attr:`dropped` counts how many were lost.
+    """
+
+    def __init__(self, clock: Callable[[], float], max_spans: int = 100_000) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        self._clock = clock
+        self.max_spans = max_spans
+        self.finished: list[Span] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._ids = 0
+        self._stacks = threading.local()
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._stacks, "value", None)
+        if stack is None:
+            stack = []
+            self._stacks.value = stack
+        return stack
+
+    def start(self, name: str, **attrs: object) -> Span:
+        """Open a span; the current thread's innermost open span is its parent."""
+        stack = self._stack()
+        parent_id = stack[-1] if stack else None
+        with self._lock:
+            self._ids += 1
+            span_id = self._ids
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            start=self._clock(),
+            recorder=self,
+        )
+        if attrs:
+            span.attrs.update(attrs)
+        stack.append(span_id)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._stack()
+        # Pop the span from this thread's stack if it is still on it (it
+        # may not be: explicit-finish spans can outlive sibling scopes, or
+        # finish on a different thread than they started on).
+        if span.span_id in stack:
+            while stack and stack[-1] != span.span_id:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self.finished.append(span)
+            overflow = len(self.finished) - self.max_spans
+            if overflow > 0:
+                del self.finished[:overflow]
+                self.dropped += overflow
+
+    def by_name(self, name: str) -> list[Span]:
+        """Finished spans with the given name, in finish order."""
+        with self._lock:
+            return [span for span in self.finished if span.name == name]
+
+    def names(self) -> list[str]:
+        """Distinct finished-span names, sorted."""
+        with self._lock:
+            return sorted({span.name for span in self.finished})
+
+    def reset(self) -> None:
+        """Drop all finished spans (open spans keep recording)."""
+        with self._lock:
+            self.finished.clear()
+            self.dropped = 0

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from repro import telemetry
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_non_negative, check_positive
 
@@ -122,19 +123,24 @@ def replay_churn(
     list (one entry per event actually applied).
     """
     rng = ensure_rng(seed)
-    reports = []
-    for event in events:
-        ring = engine.ring
-        kind = event.kind.value
-        if event.kind is ChurnKind.JOIN:
-            candidate = int(rng.integers(0, ring.space.size))
-            while candidate in ring:
+    reports: list[DatUpdateReport] = []
+    skipped = 0
+    with telemetry.span("churn.replay", min_nodes=min_nodes) as sp:
+        for event in events:
+            ring = engine.ring
+            kind = event.kind.value
+            if event.kind is ChurnKind.JOIN:
                 candidate = int(rng.integers(0, ring.space.size))
-            reports.append(engine.apply(kind, candidate))
-        else:
-            if len(ring) <= min_nodes:
-                continue
-            nodes = ring.nodes
-            victim = nodes[int(rng.integers(0, len(nodes)))]
-            reports.append(engine.apply(kind, victim))
+                while candidate in ring:
+                    candidate = int(rng.integers(0, ring.space.size))
+                reports.append(engine.apply(kind, candidate))
+            else:
+                if len(ring) <= min_nodes:
+                    skipped += 1
+                    continue
+                nodes = ring.nodes
+                victim = nodes[int(rng.integers(0, len(nodes)))]
+                reports.append(engine.apply(kind, victim))
+        if sp is not telemetry.NULL_SPAN:
+            sp.set(applied=len(reports), skipped=skipped)
     return reports

@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro import telemetry
+from repro.errors import MonitoringError
 from repro.gma.live import LiveGridMonitor
 from repro.gma.monitor import MonitorConfig
+from repro.gma.producer import Producer
 from repro.workloads.grids import default_schemas, make_producers
 
 
@@ -50,3 +53,42 @@ class TestLiveAggregation:
         live.start_monitoring("cpu-usage", "count", interval=0.5)
         live.run(8.0)
         assert live.read_monitoring("cpu-usage") == 16
+
+    def test_explicit_wave_budget(self, live):
+        measured = live.aggregate("cpu-usage", "count", t=0.0, waves=8)
+        assert measured == 16
+
+
+class TestLiveEdgeCases:
+    def test_attach_producer_rejects_unknown_node(self, live):
+        stranger = Producer(node=-1, resource_id="ghost")
+        with pytest.raises(MonitoringError):
+            live.attach_producer(stranger)
+
+    def test_read_monitoring_unknown_attribute_is_none(self, live):
+        assert live.read_monitoring("no-such-attribute") is None
+
+    def test_search_timeout_raises(self, live):
+        # A settle window of zero gives the routed query no virtual time
+        # to resolve in — the facade must surface that, not hang.
+        with pytest.raises(MonitoringError):
+            live.search("cpu-usage", 0.0, 100.0, settle=0.0)
+
+    def test_rendezvous_key_is_stable_and_in_space(self, live):
+        key = live.rendezvous_key("cpu-usage")
+        assert key == live.rendezvous_key("cpu-usage")
+        assert 0 <= key < live.space.size
+
+
+class TestLiveTelemetry:
+    def test_search_and_aggregate_emit_spans(self, live):
+        with telemetry.enabled() as tel:
+            live.search("cpu-usage", 0.0, 100.0)
+            live.aggregate("cpu-usage", "sum", t=0.0)
+            (search_span,) = tel.spans.by_name("gma.live.search")
+            assert search_span.attrs["attribute"] == "cpu-usage"
+            assert search_span.attrs["n_resources"] == 16
+            assert search_span.attrs["hops"] >= 0
+            (agg_span,) = tel.spans.by_name("gma.live.aggregate")
+            assert agg_span.attrs["attribute"] == "cpu-usage"
+            assert agg_span.attrs["waves"] >= 1

@@ -33,7 +33,7 @@ def codes(diagnostics) -> set[str]:
 # --------------------------------------------------------------------- #
 
 
-def test_all_seven_rules_registered():
+def test_all_eight_rules_registered():
     assert [r.code for r in all_rules()] == [
         "DAT001",
         "DAT002",
@@ -42,6 +42,7 @@ def test_all_seven_rules_registered():
         "DAT005",
         "DAT006",
         "DAT007",
+        "DAT008",
     ]
     for rule in all_rules():
         assert rule.name and rule.rationale
@@ -64,15 +65,20 @@ def test_dat001_flags_stdlib_random(tmp_path):
     assert codes(diagnostics) == {"DAT001"}
 
 
-def test_dat001_flags_wall_clock_and_argless_rng(tmp_path):
+def test_dat001_flags_argless_and_global_rng(tmp_path):
     source = (
-        "import time\nimport numpy as np\n"
-        "now = time.time()\n"
+        "import numpy as np\n"
         "rng = np.random.default_rng()\n"
         "np.random.seed(3)\n"
     )
     diagnostics, _ = lint_snippet(tmp_path, source)
-    assert [d.rule for d in diagnostics] == ["DAT001"] * 3
+    assert [d.rule for d in diagnostics] == ["DAT001"] * 2
+
+
+def test_dat001_does_not_own_wall_clock_reads(tmp_path):
+    # Wall-clock policing moved wholesale to DAT008 (one rule, one concern).
+    diagnostics, _ = lint_snippet(tmp_path, "import time\nnow = time.time()\n")
+    assert codes(diagnostics) == {"DAT008"}
 
 
 def test_dat001_clean_on_seeded_rng(tmp_path):
@@ -282,6 +288,52 @@ def test_dat007_allows_narrow_catch_and_reraising_broad(tmp_path):
     )
     diagnostics, _ = lint_snippet(tmp_path, source)
     assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# DAT008 — sim-clock discipline
+# --------------------------------------------------------------------- #
+
+
+def test_dat008_flags_the_whole_clock_family(tmp_path):
+    source = (
+        "import time\n"
+        "import datetime\n"
+        "a = time.time()\n"
+        "b = time.monotonic()\n"
+        "c = time.perf_counter()\n"
+        "d = datetime.datetime.now()\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert [d.rule for d in diagnostics] == ["DAT008"] * 4
+
+
+def test_dat008_flags_from_time_imports(tmp_path):
+    diagnostics, _ = lint_snippet(
+        tmp_path, "from time import monotonic\nnow = monotonic()\n"
+    )
+    assert [d.rule for d in diagnostics] == ["DAT008"]
+    assert "smuggles" in diagnostics[0].message
+
+
+def test_dat008_allows_virtual_clock_and_sleepless_time_use(tmp_path):
+    source = (
+        "def snapshot(transport):\n"
+        "    return transport.now()\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+
+
+def test_dat008_line_suppression_marks_the_substrate_boundary(tmp_path):
+    source = (
+        "import time\n"
+        "def now():\n"
+        "    return time.monotonic()  # datlint: disable=DAT008\n"
+    )
+    diagnostics, suppressed = lint_snippet(tmp_path, source)
+    assert diagnostics == []
+    assert suppressed == 1
 
 
 # --------------------------------------------------------------------- #

@@ -71,3 +71,59 @@ class TestMessageStats:
         for t in threads:
             t.join()
         assert stats.load(7).sent == 4000
+
+    def test_concurrent_reads_during_writes(self):
+        """Regression: reads are lock-guarded too, not just writes.
+
+        The UDP receive thread increments counters while callers read
+        loads()/by_kind(); historically only the write side took the lock,
+        so a reader could iterate a dict mid-resize (RuntimeError) or see
+        torn totals.
+        """
+        import threading
+
+        stats = MessageStats()
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def writer():
+            for i in range(3000):
+                stats.record_send(i % 50, 1, kind="k")
+                stats.record_receive(i % 50, 1)
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    stats.loads()
+                    stats.by_kind()
+                    stats.nodes()
+                    stats.total_messages()
+                except Exception as exc:  # noqa: BLE001 - surfaced to the main thread
+                    errors.append(exc)
+                    return
+
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert errors == []
+        assert stats.total_messages() == 6000
+
+    def test_is_a_hotspot_accountant(self):
+        """The shim keeps the old name; the implementation is telemetry's."""
+        from repro.telemetry.hotspot import HotspotAccountant
+
+        stats = MessageStats()
+        assert isinstance(stats, HotspotAccountant)
+        stats.record_send(1)
+        stats.record_send(1)
+        stats.record_send(1)
+        stats.record_send(2)
+        # Load-balance statistics ride along: max=3, mean=2 -> imbalance 1.5.
+        assert stats.max_load() == 3
+        assert stats.imbalance() == 1.5

@@ -78,6 +78,99 @@ class TestDelivery:
         assert wait_until(lambda: len(received) == 1)
 
 
+class TestTimeoutRetry:
+    """The continuation-passing timeout/retry paths callers build on."""
+
+    def test_late_reply_after_timeout_is_dropped(self, transport):
+        """A response matched after the deadline must not fire on_reply."""
+        replies: list[Message] = []
+        timeouts: list[Message] = []
+
+        def slow_handler(m: Message):
+            # Reply well after the caller's deadline via a timer.
+            transport.schedule(0.4, lambda: transport.send(m.response(ok=1)))
+            return None
+
+        transport.register(1, lambda m: None)
+        transport.register(2, slow_handler)
+        transport.call(
+            Message(kind="q", source=1, destination=2),
+            replies.append,
+            on_timeout=timeouts.append,
+            timeout=0.1,
+        )
+        assert wait_until(lambda: len(timeouts) == 1)
+        time.sleep(0.5)  # let the late reply arrive
+        assert replies == []
+        assert transport.pending_calls() == 0
+
+    def test_timeout_receives_original_message(self, transport):
+        transport.register(1, lambda m: None)
+        timeouts: list[Message] = []
+        request = Message(kind="q", source=1, destination=99, payload={"x": 1})
+        transport.call(
+            request, lambda r: pytest.fail("unreachable"), timeouts.append, timeout=0.1
+        )
+        assert wait_until(lambda: timeouts == [request])
+
+    def test_retry_after_timeout_succeeds(self, transport):
+        """The caller-side retry idiom: re-issue the call from on_timeout."""
+        transport.register(1, lambda m: None)
+        replies: list[int] = []
+        attempts: list[int] = []
+
+        def attempt(n: int) -> None:
+            attempts.append(n)
+            if n == 2:  # destination comes up between attempts
+                transport.register(2, lambda m: m.response(ok=n))
+            transport.call(
+                Message(kind="q", source=1, destination=2),
+                lambda r: replies.append(r.payload["ok"]),
+                on_timeout=lambda _m: attempt(n + 1),
+                timeout=0.15,
+            )
+
+        attempt(1)
+        assert wait_until(lambda: replies == [2])
+        assert attempts == [1, 2]
+        assert transport.pending_calls() == 0
+
+    def test_timeout_without_callback_just_expires(self, transport):
+        transport.register(1, lambda m: None)
+        transport.call(
+            Message(kind="q", source=1, destination=99),
+            lambda r: pytest.fail("unreachable"),
+            timeout=0.1,
+        )
+        assert wait_until(lambda: transport.pending_calls() == 0)
+
+    def test_reply_cancels_timeout(self, transport):
+        transport.register(1, lambda m: None)
+        transport.register(2, lambda m: m.response(ok=1))
+        replies: list[Message] = []
+        timeouts: list[Message] = []
+        transport.call(
+            Message(kind="q", source=1, destination=2),
+            replies.append,
+            on_timeout=timeouts.append,
+            timeout=0.3,
+        )
+        assert wait_until(lambda: len(replies) == 1)
+        time.sleep(0.4)  # past the deadline: the cancelled timer must not fire
+        assert timeouts == []
+
+    def test_default_timeout_used_when_unspecified(self, transport):
+        transport.default_timeout = 0.1
+        transport.register(1, lambda m: None)
+        timeouts: list[Message] = []
+        transport.call(
+            Message(kind="q", source=1, destination=99),
+            lambda r: pytest.fail("unreachable"),
+            on_timeout=timeouts.append,
+        )
+        assert wait_until(lambda: len(timeouts) == 1)
+
+
 class TestRouting:
     def test_address_of_local(self, transport):
         transport.register(5, lambda m: None)
