@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Mapping
 
+from repro import telemetry
 from repro.chord.fingers import FingerTable
 from repro.chord.ring import StaticRing
 from repro.chord.routing import finger_route
@@ -43,6 +44,9 @@ def centralized_direct_loads(ring: StaticRing, key: int) -> dict[int, int]:
     for node in ring:
         loads[node] = 1 if node != root else 0  # one send each
     loads[root] += len(ring) - 1  # root receives everything
+    telemetry.count(
+        "baseline_messages_total", float(len(ring) - 1), variant="direct"
+    )
     return loads
 
 
@@ -74,6 +78,11 @@ def centralized_routed_loads(
         for src, dst in zip(hops, hops[1:]):
             sent[src] += 1
             received[dst] += 1
+    telemetry.count(
+        "baseline_messages_total",
+        float(sum(sent.values())),
+        variant="routed",
+    )
     return {node: sent[node] + received[node] for node in ring}
 
 

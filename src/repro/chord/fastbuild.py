@@ -29,6 +29,7 @@ __all__ = [
     "fast_finger_matrix",
     "fast_basic_parents",
     "fast_balanced_parents",
+    "fast_tree_height",
     "build_dat_fast",
 ]
 
@@ -200,6 +201,37 @@ def fast_balanced_parents(
     return _parents_from_best(nodes, fingers, best, int(root))
 
 
+def fast_tree_height(parents: dict[int, int], root: int) -> int | None:
+    """Tree height by vectorized parent-pointer chasing.
+
+    The root's parent pointer is tied to itself (absorbing), so the height
+    is the first step count after which every chase has landed on the
+    root. Each step is one O(n) fancy-index; the loop runs ``height``
+    times (logarithmic for DAT trees). Returns ``None`` when the chase
+    cannot converge — a dangling parent or a cycle — so callers fall back
+    to :meth:`DatTree.height`'s validating BFS.
+    """
+    n_edges = len(parents)
+    if n_edges == 0:
+        return 0
+    children = np.fromiter(parents.keys(), dtype=np.int64, count=n_edges)
+    par = np.fromiter(parents.values(), dtype=np.int64, count=n_edges)
+    ids = np.sort(np.append(children, np.int64(root)))
+    guess = np.minimum(np.searchsorted(ids, par), ids.size - 1)
+    if not bool(np.array_equal(ids[guess], par)):
+        return None  # dangling parent id
+    par_ids = np.full(ids.shape, np.int64(root))
+    par_ids[np.searchsorted(ids, children)] = par
+    par_idx = np.searchsorted(ids, par_ids)
+    root_idx = int(np.searchsorted(ids, np.int64(root)))
+    cur = par_idx
+    for height in range(1, ids.size + 1):
+        if bool((cur == root_idx).all()):
+            return height
+        cur = par_idx[cur]
+    return None  # cycle
+
+
 def build_dat_fast(
     ring: StaticRing,
     key: int,
@@ -215,8 +247,14 @@ def build_dat_fast(
     scheme = DatScheme(scheme)
     if ring.space.bits > FAST_PATH_MAX_BITS or len(ring) <= 1:
         return build_dat(ring, key, scheme=scheme)
+    root = ring.successor(key)
     if scheme is DatScheme.BASIC:
         parents = fast_basic_parents(ring, key, matrix=matrix)
     else:
         parents = fast_balanced_parents(ring, key, matrix=matrix)
-    return DatTree(root=ring.successor(key), parent=parents, key=key)
+    tree = DatTree(root=root, parent=parents, key=key)
+    # Seed the height cache from the vectorized chase so telemetry's
+    # per-build span attribute never triggers the Python BFS — the main
+    # enabled-mode cost on this hot path.
+    tree._height = fast_tree_height(parents, root)
+    return tree

@@ -135,7 +135,10 @@ def build_dat(
         else:
             tree = build_balanced_dat(ring, key, tables=tables, d0=d0)
         if sp is not telemetry.NULL_SPAN:
-            sp.set(root=tree.root, height=tree.height)
+            # ``height`` is lazy: sampled-out / evicted spans never pay the
+            # depth scan; the exporter resolves it only for spans it keeps.
+            sp.set(root=tree.root)
+            sp.set_lazy(height=lambda: tree.height)
             telemetry.count("dat_builds_total", scheme=scheme.value)
         return tree
 
@@ -218,7 +221,8 @@ class DatTreeBuilder:
                     self.ring, key, scheme=self.scheme, matrix=matrix
                 )
                 if sp is not telemetry.NULL_SPAN:
-                    sp.set(root=tree.root, height=tree.height)
+                    sp.set(root=tree.root)
+                    sp.set_lazy(height=lambda tree=tree: tree.height)
                     telemetry.count("dat_builds_total", scheme=self.scheme.value)
         else:
             tree = build_dat(self.ring, key, scheme=self.scheme, tables=self.tables)

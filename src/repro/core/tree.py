@@ -62,6 +62,7 @@ class DatTree:
     key: int | None = None
     _children: dict[int, list[int]] | None = field(default=None, repr=False)
     _depths: dict[int, int] | None = field(default=None, repr=False)
+    _height: int | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.root in self.parent:
@@ -159,8 +160,14 @@ class DatTree:
 
     @property
     def height(self) -> int:
-        """Longest root-to-leaf edge distance (paper: 'tree height')."""
-        return max(self.depths().values(), default=0)
+        """Longest root-to-leaf edge distance (paper: 'tree height').
+
+        Cached: the first access scans the (also cached) depth map once;
+        telemetry's per-build span attributes then read it for free.
+        """
+        if self._height is None:
+            self._height = max(self.depths().values(), default=0)
+        return self._height
 
     def branching_factors(self) -> dict[int, int]:
         """Children count of every node (0 for leaves)."""

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.chord.idspace import IdSpace
 from repro.chord.incremental import DatUpdateEngine
 from repro.chord.network import ChordNetwork
@@ -133,10 +134,26 @@ def run_churn_overhead(
     max_repair_rounds: int = 200,
 ) -> ChurnOverheadResult:
     """Run the churn experiment on a live simulated overlay."""
+    with telemetry.span(
+        "experiment.churn", n=n_nodes, events=n_churn_events, seed=seed
+    ):
+        return _run_churn_overhead(
+            n_nodes, bits, n_churn_events, key, seed, max_repair_rounds
+        )
+
+
+def _run_churn_overhead(
+    n_nodes: int,
+    bits: int,
+    n_churn_events: int,
+    key: int,
+    seed: int,
+    max_repair_rounds: int,
+) -> ChurnOverheadResult:
     rng = ensure_rng(seed)
     space = IdSpace(bits)
     key = space.wrap(key)
-    transport = SimTransport(rng=rng)
+    transport = SimTransport(rng=rng, hotspot_name="churn.transport")
     config = ChordConfig(stabilize_interval=0.5, fix_fingers_interval=0.1)
     network = ChordNetwork(space, transport, config)
 
@@ -198,19 +215,33 @@ def run_churn_overhead(
             network.settle(config.stabilize_interval)
             rounds += 1
         repair_rounds.append(rounds)
+        # Unit buckets via the default histogram override — repair completes
+        # in a handful of stabilization rounds, so 1-wide bins resolve it.
+        telemetry.observe("churn_repair_rounds", float(rounds))
 
     elapsed = transport.now() - start_time
     total = transport.stats.total_messages()
     per_node_second = (
         total / (len(network.nodes) * elapsed) if elapsed > 0 else 0.0
     )
+    by_kind = transport.stats.by_kind()
+    if telemetry.is_enabled():
+        telemetry.gauge_set("churn_total_messages", float(total))
+        telemetry.gauge_set("churn_messages_per_node_second", per_node_second)
+        telemetry.gauge_set(
+            "churn_mean_repair_rounds",
+            float(np.mean(repair_rounds)) if repair_rounds else 0.0,
+        )
+        telemetry.gauge_set("churn_incremental_rebuilds", float(rebuilds))
+        for kind, count in sorted(by_kind.items()):
+            telemetry.count("churn_messages_total", float(count), kind=kind)
     return ChurnOverheadResult(
         n_nodes_initial=n_nodes,
         n_events=len(events),
         duration=elapsed,
         total_messages=total,
         messages_per_node_second=per_node_second,
-        by_kind=transport.stats.by_kind(),
+        by_kind=by_kind,
         repair_rounds=repair_rounds,
         incremental_finger_updates=finger_updates,
         incremental_parent_updates=parent_updates,

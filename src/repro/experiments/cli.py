@@ -189,12 +189,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--telemetry-jsonl",
         metavar="PATH",
-        help="enable telemetry and write the JSONL event stream here",
+        help="enable telemetry and stream the JSONL event pipeline here",
     )
     parser.add_argument(
         "--telemetry-prom",
         metavar="PATH",
         help="enable telemetry and write the Prometheus text export here",
+    )
+    parser.add_argument(
+        "--telemetry-sample-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "sim-seconds between rolling hotspot samples on live transports "
+            "(0 disables periodic sampling)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-chunk-size",
+        type=int,
+        default=None,
+        metavar="SPANS",
+        help="JSONL stream flush threshold (spans buffered before a write)",
+    )
+    parser.add_argument(
+        "--telemetry-sample-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="keep every K-th span per span name (dropped spans are counted)",
     )
     return parser
 
@@ -202,20 +226,31 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    tel = None
+    live = None
     if args.telemetry_jsonl or args.telemetry_prom:
-        tel = telemetry.configure(enabled=True)
-    for name in names:
-        print(EXPERIMENTS[name](args))
-        print()
-    if tel is not None:
-        if args.telemetry_jsonl:
-            with open(args.telemetry_jsonl, "w", encoding="utf-8") as handle:
-                telemetry.write_jsonl(tel, handle)
-        if args.telemetry_prom:
-            with open(args.telemetry_prom, "w", encoding="utf-8") as handle:
-                telemetry.write_prometheus(tel, handle)
-        telemetry.disable()
+        overrides: dict[str, object] = {
+            "enabled": True,
+            "sample_window": args.telemetry_sample_window,
+        }
+        if args.telemetry_chunk_size is not None:
+            overrides["span_chunk_size"] = args.telemetry_chunk_size
+        if args.telemetry_sample_every is not None:
+            overrides["span_sample_every"] = args.telemetry_sample_every
+        tel = telemetry.configure(**overrides)
+        assert tel is not None
+        live = telemetry.LiveExport(
+            tel,
+            jsonl_path=args.telemetry_jsonl,
+            prom_path=args.telemetry_prom,
+        )
+    try:
+        for name in names:
+            print(EXPERIMENTS[name](args))
+            print()
+    finally:
+        if live is not None:
+            live.close()
+            telemetry.disable()
     return 0
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.chord.idspace import IdSpace
 from repro.chord.incremental import DatUpdateEngine
 from repro.chord.node import ChordConfig
@@ -78,7 +79,15 @@ def _measure_one_rate(
     rng = ensure_rng(seed)
     space = IdSpace(bits)
     key = space.wrap(key)
-    transport = SimTransport(latency=ConstantLatency(0.005), rng=rng)
+    # One hotspot accountant per churn rate: with TelemetryConfig.sample_window
+    # set, each transport's tick hook emits its own rolling imbalance series
+    # (the per-window tables in ``repro.telemetry.report``) without the
+    # sweep's rates interleaving into one series.
+    transport = SimTransport(
+        latency=ConstantLatency(0.005),
+        rng=rng,
+        hotspot_name=f"dynamics.rate{churn_rate:g}",
+    )
     config = ChordConfig(
         stabilize_interval=0.25, fix_fingers_interval=0.05, rpc_timeout=0.5
     )
@@ -150,7 +159,7 @@ def _measure_one_rate(
         if relative <= tolerance:
             within += 1
 
-    return DynamicsPoint(
+    point = DynamicsPoint(
         churn_rate=churn_rate,
         n_samples=samples,
         mean_relative_error=float(np.mean(errors)) if errors else 0.0,
@@ -160,6 +169,24 @@ def _measure_one_rate(
             float(np.mean(event_updates)) if event_updates else 0.0
         ),
     )
+    if telemetry.is_enabled():
+        labels = {"churn_rate": f"{churn_rate:g}"}
+        telemetry.gauge_set(
+            "dynamics_mean_relative_error", point.mean_relative_error, **labels
+        )
+        telemetry.gauge_set(
+            "dynamics_max_relative_error", point.max_relative_error, **labels
+        )
+        telemetry.gauge_set("dynamics_availability", point.availability, **labels)
+        telemetry.gauge_set(
+            "dynamics_incremental_updates",
+            point.mean_incremental_updates,
+            **labels,
+        )
+        telemetry.gauge_set(
+            "dynamics_samples_total", float(point.n_samples), **labels
+        )
+    return point
 
 
 def run_dynamics(
@@ -190,11 +217,15 @@ def run_dynamics(
     """
     rates = churn_rates if churn_rates is not None else [0.0, 0.2, 0.5, 1.0]
     result = DynamicsResult(n_nodes=n_nodes)
-    for index, rate in enumerate(rates):
-        result.points.append(
-            _measure_one_rate(
-                rate, n_nodes, bits, key, duration, interval, tolerance,
-                stale_after, seed=seed + index,
-            )
-        )
+    with telemetry.span(
+        "experiment.dynamics", n=n_nodes, n_rates=len(rates), duration=duration
+    ):
+        for index, rate in enumerate(rates):
+            with telemetry.span("experiment.dynamics.rate", churn_rate=rate):
+                result.points.append(
+                    _measure_one_rate(
+                        rate, n_nodes, bits, key, duration, interval,
+                        tolerance, stale_after, seed=seed + index,
+                    )
+                )
     return result

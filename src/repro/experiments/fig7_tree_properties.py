@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.chord.idgen import make_assigner
 from repro.chord.idspace import IdSpace
 from repro.core.builder import DatScheme, build_dat
@@ -88,14 +89,16 @@ def run_fig7_tree_properties(
     configs = configs if configs is not None else CONFIGS
     seeds = spawn_seeds(master_seed, n_seeds)
     points: list[Fig7Point] = []
-    for scheme, id_strategy in configs:
-        for n_nodes in sizes:
-            samples = [
-                measure_tree(scheme, id_strategy, n_nodes, bits, seed)
-                for seed in seeds
-            ]
-            points.append(
-                Fig7Point(
+    with telemetry.span(
+        "experiment.fig7", n_configs=len(configs), n_sizes=len(sizes)
+    ):
+        for scheme, id_strategy in configs:
+            for n_nodes in sizes:
+                samples = [
+                    measure_tree(scheme, id_strategy, n_nodes, bits, seed)
+                    for seed in seeds
+                ]
+                point = Fig7Point(
                     scheme=scheme,
                     id_strategy=id_strategy,
                     n_nodes=n_nodes,
@@ -104,5 +107,16 @@ def run_fig7_tree_properties(
                     height=sum(s[2] for s in samples) / n_seeds,
                     n_seeds=n_seeds,
                 )
-            )
+                points.append(point)
+                if telemetry.is_enabled():
+                    labels = {
+                        "scheme": scheme, "ids": id_strategy, "n": n_nodes
+                    }
+                    telemetry.gauge_set(
+                        "fig7_max_branching", point.max_branching, **labels
+                    )
+                    telemetry.gauge_set(
+                        "fig7_avg_branching", point.avg_branching, **labels
+                    )
+                    telemetry.gauge_set("fig7_height", point.height, **labels)
     return points

@@ -25,11 +25,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.chord.hashing import sha1_id
 from repro.chord.idgen import make_assigner
 from repro.chord.idspace import IdSpace
-from repro.core.aggregates import get_aggregate
+from repro.chord.ring import StaticRing
+from repro.core.aggregates import Aggregate, get_aggregate
 from repro.core.builder import DatScheme, build_dat
+from repro.core.tree import DatTree
 from repro.gma.traces import CpuTrace, TraceGenerator
 
 __all__ = ["Fig9Result", "run_fig9_accuracy"]
@@ -117,12 +120,50 @@ def run_fig9_accuracy(
     agg = get_aggregate(aggregate)
     result = Fig9Result(n_nodes=n_nodes, mode=mode)
     order = sorted(tree.parent, key=lambda v: depths[v], reverse=True)
+    max_depth = max(depths.values()) if depths else 0
 
+    with telemetry.span(
+        "experiment.fig9", n=n_nodes, mode=mode, slots=total_slots
+    ):
+        _run_fig9_slots(
+            result, tree, ring, node_trace, depths, order, agg,
+            mode, push_period, total_slots, traces[0].period,
+        )
+    if telemetry.is_enabled() and result.actual:
+        telemetry.gauge_set(
+            "fig9_mean_relative_error", result.mean_relative_error(), mode=mode
+        )
+        telemetry.gauge_set(
+            "fig9_max_relative_error", result.max_relative_error(), mode=mode
+        )
+        telemetry.gauge_set("fig9_correlation", result.correlation(), mode=mode)
+        # Worst-case reading age in continuous mode: one push period per
+        # tree level between a leaf and the root.
+        staleness = max_depth * push_period if mode == "continuous" else 0.0
+        telemetry.gauge_set("fig9_max_staleness_seconds", staleness, mode=mode)
+    return result
+
+
+def _run_fig9_slots(
+    result: Fig9Result,
+    tree: DatTree,
+    ring: StaticRing,
+    node_trace: dict[int, CpuTrace],
+    depths: dict[int, int],
+    order: list[int],
+    agg: Aggregate,
+    mode: str,
+    push_period: float,
+    total_slots: int,
+    period: float,
+) -> None:
+    """Evaluate every trace slot, publishing the per-slot series gauges."""
+    emit = telemetry.is_enabled()
     for slot in range(total_slots):
         # Evaluate mid-slot: sampling exactly on a slot boundary would make
         # any nonzero staleness truncate into the previous slot, grossly
         # overstating the continuous-mode error.
-        t = (slot + 0.5) * traces[0].period
+        t = (slot + 0.5) * period
         # Ground truth: everyone's reading at exactly t.
         actual = agg.aggregate(node_trace[node].at_slot(slot) for node in ring)
 
@@ -143,4 +184,10 @@ def run_fig9_accuracy(
         result.times.append(t)
         result.actual.append(float(actual))
         result.aggregated.append(float(aggregated))
-    return result
+        if emit:
+            telemetry.gauge_set(
+                "fig9_actual", float(actual), mode=mode, slot=slot
+            )
+            telemetry.gauge_set(
+                "fig9_aggregated", float(aggregated), mode=mode, slot=slot
+            )

@@ -11,6 +11,7 @@ continuous monitoring — the configuration the paper's prototype calls the
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -47,6 +48,11 @@ class LiveGridMonitor:
         Declared MAAN attributes.
     latency:
         One-way message delay (default 2 ms LAN-ish).
+    telemetry_jsonl, telemetry_prom:
+        Optional live-telemetry output paths (see
+        :class:`~repro.telemetry.stream.LiveExport`). When either is set
+        and no global runtime is installed, the monitor enables telemetry
+        itself and disables it again in :meth:`close`.
     """
 
     def __init__(
@@ -55,10 +61,25 @@ class LiveGridMonitor:
         schemas: Mapping[str, AttributeSchema],
         latency: float = 0.002,
         rng: int | np.random.Generator | None = None,
+        telemetry_jsonl: str | os.PathLike | None = None,
+        telemetry_prom: str | os.PathLike | None = None,
     ) -> None:
         self.config = config
         self.schemas = dict(schemas)
         self.space = IdSpace(config.bits)
+        # Wire the live export before the transport exists so the transport
+        # registers hotspots / binds the sim clock against the runtime.
+        self.live_export: telemetry.LiveExport | None = None
+        self._owns_telemetry = False
+        if telemetry_jsonl is not None or telemetry_prom is not None:
+            tel = telemetry.active()
+            if tel is None:
+                tel = telemetry.configure(enabled=True)
+                self._owns_telemetry = True
+            assert tel is not None
+            self.live_export = telemetry.LiveExport(
+                tel, jsonl_path=telemetry_jsonl, prom_path=telemetry_prom
+            )
         self.transport = SimTransport(latency=ConstantLatency(latency))
         self.chord_config = ChordConfig(
             stabilize_interval=0.25, fix_fingers_interval=0.05
@@ -103,6 +124,28 @@ class LiveGridMonitor:
     def run(self, duration: float) -> None:
         """Advance virtual time."""
         self.transport.run(until=self.transport.now() + duration)
+
+    def close(self) -> dict[str, int]:
+        """Finalize the live telemetry export (idempotent).
+
+        Returns the exporter's line counts (empty when no export was
+        configured). Disables the global runtime only if this monitor
+        enabled it.
+        """
+        stats: dict[str, int] = {}
+        if self.live_export is not None:
+            stats = self.live_export.close()
+            self.live_export = None
+        if self._owns_telemetry:
+            telemetry.disable()
+            self._owns_telemetry = False
+        return stats
+
+    def __enter__(self) -> "LiveGridMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def set_monitor_time(self, t: float) -> None:
         """Set the timestamp producers read their sensors at."""

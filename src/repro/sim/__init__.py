@@ -15,11 +15,13 @@ This package reproduces that design:
   setup, scaled to the test machine).
 * :class:`~repro.sim.inproc.InprocTransport` — zero-latency direct calls
   for unit tests.
-* :class:`~repro.sim.stats.MessageStats` — per-node message/byte counters
-  feeding the load-balance experiments.
+
+Per-node message accounting lives on every transport as
+``transport.stats``, a :class:`repro.telemetry.hotspot.HotspotAccountant`
+(the historical ``MessageStats`` name is a deprecated alias).
 """
 
-from repro.sim.engine import Event, SimulationEngine
+from repro.sim.engine import Event, SimulationEngine, TickHook
 from repro.sim.latency import (
     ConstantLatency,
     LatencyModel,
@@ -27,15 +29,26 @@ from repro.sim.latency import (
     LanWanLatency,
 )
 from repro.sim.messages import Message, encode_message, decode_message
-from repro.sim.stats import MessageStats
 from repro.sim.transport import Transport, MessageHandler
 from repro.sim.inproc import InprocTransport
 from repro.sim.simnet import SimTransport
 from repro.sim.udprpc import UdpRpcTransport
 from repro.sim.tracing import MessageTracer, TraceRecord, get_logger, trace
 
+
+def __getattr__(name: str) -> object:
+    # Deprecated alias, resolved lazily so importing repro.sim stays silent;
+    # ``repro.sim.MessageStats`` warns via repro.sim.stats.__getattr__.
+    if name == "MessageStats":
+        from repro.sim import stats
+
+        return stats.MessageStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Event",
+    "TickHook",
     "SimulationEngine",
     "LatencyModel",
     "ConstantLatency",
@@ -44,7 +57,7 @@ __all__ = [
     "Message",
     "encode_message",
     "decode_message",
-    "MessageStats",
+    "MessageStats",  # noqa: F822 - lazy deprecated alias (__getattr__)
     "Transport",
     "MessageHandler",
     "InprocTransport",

@@ -16,7 +16,7 @@ from typing import Any, Callable
 
 from repro.errors import SimulationError
 
-__all__ = ["Event", "SimulationEngine"]
+__all__ = ["Event", "TickHook", "SimulationEngine"]
 
 
 @dataclass(order=True)
@@ -38,6 +38,28 @@ class Event:
         self.cancelled = True
 
 
+@dataclass
+class TickHook:
+    """A periodic callback fired at fixed virtual-time window boundaries.
+
+    Unlike a self-rescheduling :class:`Event`, a tick hook lives outside
+    the heap: it never keeps ``run()`` from draining, and it fires *before*
+    the clock crosses each ``interval`` boundary, so periodic observers
+    (telemetry load sampling) see state as of the window edge. The
+    callback receives the boundary time.
+    """
+
+    interval: float
+    next_due: float
+    callback: Callable[[float], Any] = field(compare=False)
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Stop firing (O(1); the engine prunes lazily)."""
+        self.cancelled = True
+
+
 class SimulationEngine:
     """A virtual clock plus a heap of pending events.
 
@@ -56,6 +78,7 @@ class SimulationEngine:
         self._sequence = itertools.count()
         self._events_fired = 0
         self._running = False
+        self._hooks: list[TickHook] = []
 
     @property
     def now(self) -> float:
@@ -98,6 +121,42 @@ class SimulationEngine:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self.schedule_at(self._now + delay, callback, label=label)
 
+    def add_tick_hook(
+        self, interval: float, callback: Callable[[float], Any], label: str = ""
+    ) -> TickHook:
+        """Fire ``callback(boundary_time)`` every ``interval`` of virtual time.
+
+        The hook fires whenever the clock is about to cross a window
+        boundary — before the event that crosses it, and at the final
+        clock bump of ``run(until=...)`` — so every elapsed window gets
+        exactly one call even across idle stretches. Cancel via the
+        returned handle.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        hook = TickHook(
+            interval=interval,
+            next_due=self._now + interval,
+            callback=callback,
+            label=label,
+        )
+        self._hooks.append(hook)
+        return hook
+
+    def _fire_hooks(self, up_to: float) -> None:
+        """Fire every hook due at or before ``up_to``, one call per window."""
+        prune = False
+        for hook in self._hooks:
+            if hook.cancelled:
+                prune = True
+                continue
+            while hook.next_due <= up_to and not hook.cancelled:
+                at = hook.next_due
+                hook.next_due = at + hook.interval
+                hook.callback(at)
+        if prune:
+            self._hooks = [h for h in self._hooks if not h.cancelled]
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -108,6 +167,8 @@ class SimulationEngine:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if self._hooks:
+                self._fire_hooks(event.time)
             self._now = event.time
             self._events_fired += 1
             event.callback()
@@ -153,6 +214,8 @@ class SimulationEngine:
                 self.step()
                 fired += 1
             if until is not None and self._now < until:
+                if self._hooks:
+                    self._fire_hooks(until)
                 self._now = until
             return self._now
         finally:

@@ -13,7 +13,7 @@ from typing import Callable
 import numpy as np
 
 from repro import telemetry
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import SimulationEngine, TickHook
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.messages import Message
 from repro.sim.transport import Transport
@@ -37,6 +37,15 @@ class SimTransport(Transport):
         Probability of silently dropping any message (UDP semantics).
     rng:
         Seed or generator for loss sampling.
+    hotspot_name:
+        Name this transport's counters register under in the telemetry
+        runtime. Experiments that build several transports against one
+        runtime (the dynamics churn-rate sweep) give each its own name so
+        rolling sample series don't interleave.
+    sample_window:
+        Period of in-run load sampling on the engine's tick hooks;
+        ``None`` (the default) follows the telemetry config's
+        ``sample_window``, 0 disables.
     """
 
     def __init__(
@@ -45,6 +54,8 @@ class SimTransport(Transport):
         latency: LatencyModel | None = None,
         loss_rate: float = 0.0,
         rng: int | np.random.Generator | None = None,
+        hotspot_name: str = "transport",
+        sample_window: float | None = None,
     ) -> None:
         super().__init__()
         check_probability("loss_rate", loss_rate)
@@ -53,13 +64,24 @@ class SimTransport(Transport):
         self.loss_rate = float(loss_rate)
         self._rng = ensure_rng(rng)
         self._failed: set[int] = set()
+        self.load_sampler: TickHook | None = None
         tel = telemetry.active()
         if tel is not None:
             # The engine's virtual clock becomes the telemetry time source,
             # and the transport's counters double as the "transport"
             # hotspot accountant — one accounting path, two consumers.
             tel.bind_clock(self.now)
-            tel.register_hotspots("transport", self.stats)
+            tel.register_hotspots(hotspot_name, self.stats)
+            window = (
+                tel.config.sample_window if sample_window is None else sample_window
+            )
+            if window > 0:
+                # Periodic in-run sampling: every window boundary the
+                # engine crosses appends a LoadSample to stats.series,
+                # building the rolling imbalance-factor time series.
+                self.load_sampler = self.engine.add_tick_hook(
+                    window, self.stats.sample, label=f"sample:{hotspot_name}"
+                )
 
     def now(self) -> float:
         return self.engine.now

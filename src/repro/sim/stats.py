@@ -1,26 +1,31 @@
-"""Per-node message accounting for the load-balance experiments (Sec. 5.3).
+"""Deprecated alias for per-node message accounting.
 
-Every transport owns a :class:`MessageStats`; the experiment harness reads
-sends/receives per node, computes the Fig. 8 distributions, and resets
-between rounds. Counting lives in the transport so that application layers
-cannot forget to account for a message.
-
-This module is now a thin compatibility shim: the implementation moved to
-:class:`repro.telemetry.hotspot.HotspotAccountant`, which keeps the whole
-historical API (``record_send`` / ``record_receive`` / ``load`` / ``loads``
-/ ``by_kind`` / ``reset``), guards *every* public method with the lock
-(the seed locked writes only, so readers racing the threaded ``udprpc``
-receive thread could observe torn send/receive pairs), and adds the
-load-balance statistics (``max_load``, ``percentile``, ``imbalance``,
-``sample``) that the telemetry exporters publish.
+The implementation lives in
+:class:`repro.telemetry.hotspot.HotspotAccountant`, which carries the
+whole historical ``MessageStats`` API (``record_send`` /
+``record_receive`` / ``load`` / ``loads`` / ``by_kind`` / ``reset``)
+plus the load-balance statistics (``max_load``, ``percentile``,
+``imbalance``, ``sample``) the telemetry exporters publish. Transports
+construct ``HotspotAccountant`` directly now; ``MessageStats`` remains
+importable for one release and warns on access.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.telemetry.hotspot import HotspotAccountant, NodeLoad
 
-__all__ = ["MessageStats", "NodeLoad"]
+__all__ = ["MessageStats", "NodeLoad"]  # noqa: F822 - lazy alias (__getattr__)
 
 
-class MessageStats(HotspotAccountant):
-    """Mutable per-node send/receive counters (alias of the telemetry class)."""
+def __getattr__(name: str) -> type:
+    if name == "MessageStats":
+        warnings.warn(
+            "repro.sim.stats.MessageStats is deprecated; use "
+            "repro.telemetry.hotspot.HotspotAccountant",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return HotspotAccountant
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,6 +20,7 @@ from typing import Callable, Iterable
 
 from repro.sim.messages import Message
 from repro.sim.transport import Transport
+from repro.telemetry.hotspot import HotspotAccountant
 
 __all__ = ["TraceRecord", "MessageTracer", "get_logger", "trace"]
 
@@ -81,6 +82,12 @@ class MessageTracer:
 
     Filters: ``kinds`` restricts which message kinds are recorded at all
     (cheaper than filtering afterwards for chatty protocols).
+
+    Traced messages also feed :attr:`accountant`, a private
+    :class:`~repro.telemetry.hotspot.HotspotAccountant`, so a filtered
+    trace gets the same load statistics (``loads()``, ``imbalance()``,
+    per-kind counts) as a transport's full counters — and plugs straight
+    into :func:`repro.viz.render_load_histogram`.
     """
 
     def __init__(
@@ -89,21 +96,25 @@ class MessageTracer:
         self.transport = transport
         self.kinds = set(kinds) if kinds is not None else None
         self.records: list[TraceRecord] = []
+        self.accountant = HotspotAccountant()
         self._original_send: Callable[[Message], None] = transport.send
         transport.send = self._recording_send  # type: ignore[method-assign]
         self._attached = True
 
     def _recording_send(self, message: Message) -> None:
         if self.kinds is None or message.kind in self.kinds:
+            size = message.encoded_size()
             self.records.append(
                 TraceRecord(
                     time=self.transport.now(),
                     kind=message.kind,
                     source=message.source,
                     destination=message.destination,
-                    size=message.encoded_size(),
+                    size=size,
                 )
             )
+            self.accountant.record_send(message.source, size, kind=message.kind)
+            self.accountant.record_receive(message.destination, size)
         self._original_send(message)
 
     def detach(self) -> None:
@@ -153,6 +164,11 @@ class MessageTracer:
             suffix = ""
         return "\n".join(record.format() for record in shown) + suffix
 
+    def loads(self) -> dict[int, int]:
+        """Per-node total (sent + received) message counts over the trace."""
+        return self.accountant.loads()
+
     def clear(self) -> None:
         """Drop recorded messages (keep recording)."""
         self.records.clear()
+        self.accountant.reset()

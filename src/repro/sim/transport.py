@@ -22,7 +22,7 @@ from typing import Callable, Optional
 
 from repro.errors import TransportError
 from repro.sim.messages import Message
-from repro.sim.stats import MessageStats
+from repro.telemetry.hotspot import HotspotAccountant
 
 __all__ = ["MessageHandler", "ReplyCallback", "TimeoutCallback", "Transport"]
 
@@ -38,7 +38,7 @@ class Transport(ABC):
     default_timeout: float = 2.0
 
     def __init__(self) -> None:
-        self.stats = MessageStats()
+        self.stats = HotspotAccountant()
         self._handlers: dict[int, MessageHandler] = {}
         # Pending request-id -> (on_reply, cancel_timeout)
         self._pending: dict[int, tuple[ReplyCallback, Callable[[], None]]] = {}

@@ -58,9 +58,17 @@ class UdpRpcTransport(Transport):
         self._selector.register(self._wake_recv, selectors.EVENT_READ, None)
         tel = telemetry.active()
         if tel is not None:
-            # Counters only: the telemetry clock stays unbound here — the
-            # sim clock is the only sanctioned timestamp source (DAT008).
+            # Counters always; the clock only behind the explicit opt-in.
+            # By default the telemetry clock stays unbound here — the sim
+            # clock is the only sanctioned timestamp source (DAT008), and
+            # wall-clocked exports are not replay-deterministic. With
+            # ``allow_wall_clock`` the clock binds to an offset from this
+            # transport's start, built on the already-sanctioned
+            # ``self.now`` boundary, so live spans get real durations.
             tel.register_hotspots("transport", self.stats)
+            if tel.config.allow_wall_clock:
+                start = self.now()
+                tel.bind_clock(lambda: self.now() - start)
         self._thread = threading.Thread(
             target=self._receive_loop, name="udprpc-recv", daemon=True
         )

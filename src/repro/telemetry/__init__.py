@@ -28,7 +28,11 @@ See ``docs/OBSERVABILITY.md`` for the metric catalogue, span names, and
 exporter formats.
 """
 
-from repro.telemetry.config import DEFAULT_PERCENTILES, TelemetryConfig
+from repro.telemetry.config import (
+    DEFAULT_BUCKET_OVERRIDES,
+    DEFAULT_PERCENTILES,
+    TelemetryConfig,
+)
 from repro.telemetry.export import (
     jsonl_lines,
     prometheus_text,
@@ -42,6 +46,7 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricSample,
     MetricsRegistry,
+    linear_buckets,
     log_buckets,
 )
 from repro.telemetry.runtime import (
@@ -56,13 +61,16 @@ from repro.telemetry.runtime import (
     gauge_set,
     is_enabled,
     observe,
+    sample_hotspots,
     span,
 )
 from repro.telemetry.spans import NullSpan, Span, SpanBase, SpanRecorder
+from repro.telemetry.stream import JsonlSpanStream, LiveExport, TelemetryStream
 
 __all__ = [
     "TelemetryConfig",
     "DEFAULT_PERCENTILES",
+    "DEFAULT_BUCKET_OVERRIDES",
     "Telemetry",
     "configure",
     "disable",
@@ -74,12 +82,14 @@ __all__ = [
     "count",
     "observe",
     "gauge_set",
+    "sample_hotspots",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricSample",
     "MetricsRegistry",
     "log_buckets",
+    "linear_buckets",
     "SpanBase",
     "Span",
     "NullSpan",
@@ -92,4 +102,7 @@ __all__ = [
     "prometheus_text",
     "write_jsonl",
     "write_prometheus",
+    "JsonlSpanStream",
+    "TelemetryStream",
+    "LiveExport",
 ]

@@ -7,7 +7,13 @@ streams across replays — the property the fig8-from-telemetry integration
 test relies on.
 
 JSONL: one JSON object per line, discriminated by ``"type"``:
-``config``, ``metric``, ``span``, ``hotspot_node``, ``hotspot_sample``.
+``config``, ``metric``, ``span``, ``hotspot_node``, ``hotspot_sample``,
+``span_drops`` (drop accounting: evicted/streamed/sampled-out span
+counts, so a truncated export is never silently mistaken for a complete
+one). The per-record builders (:func:`config_record`, :func:`span_record`,
+...) are shared with the streaming exporter in
+:mod:`repro.telemetry.stream`, which emits the same records
+incrementally.
 
 Prometheus: the text exposition format — ``# HELP`` / ``# TYPE`` headers,
 one line per labeled series; histogram buckets are emitted cumulatively
@@ -24,12 +30,20 @@ import math
 from dataclasses import asdict
 from typing import IO, TYPE_CHECKING, Iterator
 
+from repro.telemetry.hotspot import HotspotAccountant
 from repro.telemetry.metrics import MetricSample
+from repro.telemetry.spans import Span, SpanRecorder
 
 if TYPE_CHECKING:
     from repro.telemetry.runtime import Telemetry
 
 __all__ = [
+    "encode_record",
+    "config_record",
+    "metric_record",
+    "span_record",
+    "span_drops_record",
+    "hotspot_records",
     "jsonl_lines",
     "write_jsonl",
     "prometheus_text",
@@ -57,74 +71,116 @@ def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
     return "{" + body + "}"
 
 
-# -- JSONL ------------------------------------------------------------------
+# -- JSONL record builders (shared with the streaming exporter) -------------
+
+
+def encode_record(record: dict[str, object]) -> str:
+    """One JSONL line (no trailing newline): sorted keys, compact separators."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def config_record(tel: "Telemetry") -> dict[str, object]:
+    """The export's ``config`` header record."""
+    return {
+        "type": "config",
+        "namespace": tel.config.namespace,
+        "max_spans": tel.config.max_spans,
+        "span_chunk_size": tel.config.span_chunk_size,
+        "span_sample_every": tel.config.span_sample_every,
+        "sample_window": tel.config.sample_window,
+        "percentiles": list(tel.config.percentiles),
+        "exported_at": tel.now(),
+    }
+
+
+def metric_record(sample: MetricSample) -> dict[str, object]:
+    """One ``metric`` record from a registry sample."""
+    record: dict[str, object] = {
+        "type": "metric",
+        "name": sample.name,
+        "kind": sample.kind,
+        "labels": sample.labels_dict(),
+        "value": sample.value,
+        "updated_at": sample.updated_at,
+    }
+    if sample.kind == "histogram":
+        record["buckets"] = list(sample.buckets)
+        record["bucket_counts"] = list(sample.bucket_counts)
+        record["count"] = sample.count
+    return record
+
+
+def span_record(span: Span) -> dict[str, object]:
+    """One ``span`` record; lazy attributes are resolved here."""
+    return {
+        "type": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.start,
+        "end": span.end,
+        "attrs": span.resolved_attrs(),
+        "error": span.error,
+    }
+
+
+def span_drops_record(
+    spans: SpanRecorder,
+    sampled_out: int = 0,
+    sampled_out_by_name: dict[str, int] | None = None,
+) -> dict[str, object]:
+    """The ``span_drops`` accounting record.
+
+    ``evicted`` counts retention-cap losses (``max_spans``), ``streamed``
+    counts spans consumed by a streaming sink, and ``sampled_out`` those
+    the stream's sampling knob skipped — spans an export is missing are
+    always reported, never silent.
+    """
+    return {
+        "type": "span_drops",
+        "evicted": spans.dropped,
+        "streamed": spans.streamed,
+        "sampled_out": sampled_out,
+        "sampled_out_by_name": dict(sorted((sampled_out_by_name or {}).items())),
+    }
+
+
+def hotspot_records(
+    name: str, accountant: HotspotAccountant
+) -> Iterator[dict[str, object]]:
+    """``hotspot_node`` records (sorted by node) then ``hotspot_sample``s."""
+    loads = accountant.loads()
+    for node in sorted(loads):
+        load = accountant.load(node)
+        yield {
+            "type": "hotspot_node",
+            "accountant": name,
+            "node": node,
+            "sent": load.sent,
+            "received": load.received,
+            "bytes_sent": load.bytes_sent,
+            "bytes_received": load.bytes_received,
+            "total": load.total,
+        }
+    for point in accountant.series_snapshot():
+        sample_record = asdict(point)
+        sample_record["percentiles"] = [list(pair) for pair in point.percentiles]
+        sample_record["type"] = "hotspot_sample"
+        sample_record["accountant"] = name
+        yield sample_record
 
 
 def jsonl_lines(tel: "Telemetry") -> Iterator[str]:
     """Yield the telemetry state as JSONL lines (no trailing newlines)."""
-
-    def emit(record: dict[str, object]) -> str:
-        return json.dumps(record, sort_keys=True, separators=(",", ":"))
-
-    yield emit(
-        {
-            "type": "config",
-            "namespace": tel.config.namespace,
-            "max_spans": tel.config.max_spans,
-            "percentiles": list(tel.config.percentiles),
-            "exported_at": tel.now(),
-        }
-    )
+    yield encode_record(config_record(tel))
     for sample in tel.metrics.samples():
-        record: dict[str, object] = {
-            "type": "metric",
-            "name": sample.name,
-            "kind": sample.kind,
-            "labels": sample.labels_dict(),
-            "value": sample.value,
-            "updated_at": sample.updated_at,
-        }
-        if sample.kind == "histogram":
-            record["buckets"] = list(sample.buckets)
-            record["bucket_counts"] = list(sample.bucket_counts)
-            record["count"] = sample.count
-        yield emit(record)
+        yield encode_record(metric_record(sample))
     for span in list(tel.spans.finished):
-        yield emit(
-            {
-                "type": "span",
-                "name": span.name,
-                "span_id": span.span_id,
-                "parent_id": span.parent_id,
-                "start": span.start,
-                "end": span.end,
-                "attrs": span.attrs,
-                "error": span.error,
-            }
-        )
+        yield encode_record(span_record(span))
+    yield encode_record(span_drops_record(tel.spans))
     for name in tel.hotspot_names():
-        accountant = tel.hotspots(name)
-        loads = accountant.loads()
-        for node in sorted(loads):
-            load = accountant.load(node)
-            yield emit(
-                {
-                    "type": "hotspot_node",
-                    "accountant": name,
-                    "node": node,
-                    "sent": load.sent,
-                    "received": load.received,
-                    "bytes_sent": load.bytes_sent,
-                    "bytes_received": load.bytes_received,
-                    "total": load.total,
-                }
-            )
-        for point in list(accountant.series):
-            sample_record = asdict(point)
-            sample_record["percentiles"] = [list(pair) for pair in point.percentiles]
-            sample_record["type"] = "hotspot_sample"
-            sample_record["accountant"] = name
-            yield emit(sample_record)
+        for record in hotspot_records(name, tel.hotspots(name)):
+            yield encode_record(record)
 
 
 def write_jsonl(tel: "Telemetry", out: IO[str]) -> int:

@@ -178,6 +178,15 @@ class HotspotAccountant:
                 for node in population
             }
 
+    def series_snapshot(self) -> list[LoadSample]:
+        """A consistent copy of the rolling sample series.
+
+        Exporters iterate this while tick hooks (or an experiment thread)
+        may still be appending samples; the copy is taken under the lock.
+        """
+        with self._lock:
+            return list(self.series)
+
     def by_kind(self) -> dict[str, int]:
         """Messages sent, broken down by message kind.
 

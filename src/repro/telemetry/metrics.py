@@ -22,6 +22,7 @@ from typing import Callable, Iterator, Mapping
 
 __all__ = [
     "log_buckets",
+    "linear_buckets",
     "MetricSample",
     "Metric",
     "Counter",
@@ -49,6 +50,18 @@ def log_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
             f"invalid bucket grid (start={start}, factor={factor}, count={count})"
         )
     return tuple(start * factor**i for i in range(count))
+
+
+def linear_buckets(start: float, width: float, count: int) -> tuple[float, ...]:
+    """Fixed linear bucket upper bounds ``start + width*i``.
+
+    For small-integer quantities (hop counts, repair rounds) unit-width
+    buckets read directly as per-value frequencies, where the log grid
+    would merge several values into one bucket.
+    """
+    if width <= 0 or count <= 0:
+        raise ValueError(f"invalid bucket grid (width={width}, count={count})")
+    return tuple(start + width * i for i in range(count))
 
 
 @dataclass(frozen=True)

@@ -7,10 +7,17 @@ Usage::
     python -m repro.telemetry.report run.jsonl --top 10
 
 Reads the JSONL event stream written by
-:func:`repro.telemetry.export.write_jsonl` (e.g. via the experiment CLI's
-``--telemetry-jsonl`` flag) and prints aligned summary tables: metric
-values, span durations aggregated by name, and per-accountant hotspot load
-distributions with the Fig. 8 imbalance factor.
+:func:`repro.telemetry.export.write_jsonl` or streamed live by
+:class:`repro.telemetry.stream.TelemetryStream` (e.g. via the experiment
+CLI's ``--telemetry-jsonl`` flag) and prints aligned summary tables:
+metric values, span durations aggregated by name (plus the export's
+``span_drops`` accounting), per-accountant hotspot load distributions
+with the Fig. 8 imbalance factor, and the rolling per-window load
+samples (``--section samples``) that periodic in-run sampling produces.
+
+``--require-samples [SUBSTRING]`` makes the exit status assert a
+non-empty rolling-imbalance series — the CI round-trip smoke job uses it
+to prove dynamics runs really emitted per-window samples.
 """
 
 from __future__ import annotations
@@ -21,9 +28,9 @@ import sys
 from collections import defaultdict
 from typing import Iterable, Sequence
 
-__all__ = ["main", "build_parser", "render_report"]
+__all__ = ["main", "build_parser", "render_report", "rolling_imbalance"]
 
-_SECTIONS = ("metrics", "spans", "hotspots")
+_SECTIONS = ("metrics", "spans", "hotspots", "samples")
 
 
 def _load_events(lines: Iterable[str]) -> list[dict[str, object]]:
@@ -85,7 +92,9 @@ def _metrics_section(events: list[dict[str, object]], top: int) -> list[str]:
 def _spans_section(events: list[dict[str, object]], top: int) -> list[str]:
     spans = [e for e in events if e["type"] == "span"]
     if not spans:
-        return ["(no spans)"]
+        lines = ["(no spans)"]
+        lines.extend(_drops_lines(events))
+        return lines
     stats: dict[str, list[float]] = defaultdict(list)
     errors: dict[str, int] = defaultdict(int)
     for event in spans:
@@ -113,6 +122,27 @@ def _spans_section(events: list[dict[str, object]], top: int) -> list[str]:
     lines = _table(["span", "count", "total", "mean", "max", "errors"], rows)
     if top and len(ranked) > top:
         lines.append(f"... ({len(ranked) - top} more span names)")
+    lines.extend(_drops_lines(events))
+    return lines
+
+
+def _drops_lines(events: list[dict[str, object]]) -> list[str]:
+    """The ``span_drops`` accounting, rendered under the spans table."""
+    lines: list[str] = []
+    for event in events:
+        if event["type"] != "span_drops":
+            continue
+        evicted = int(str(event.get("evicted", 0)))
+        streamed = int(str(event.get("streamed", 0)))
+        sampled_out = int(str(event.get("sampled_out", 0)))
+        lines.append(
+            f"drops: evicted={evicted} streamed={streamed} "
+            f"sampled_out={sampled_out}"
+        )
+        by_name = event.get("sampled_out_by_name") or {}
+        if isinstance(by_name, dict) and by_name:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(by_name.items()))
+            lines.append(f"  sampled out by name: {detail}")
     return lines
 
 
@@ -157,6 +187,66 @@ def _hotspots_section(events: list[dict[str, object]], top: int) -> list[str]:
     return lines
 
 
+def _samples_section(events: list[dict[str, object]], top: int) -> list[str]:
+    """Per-window rolling load samples, one table per accountant."""
+    samples: dict[str, list[dict[str, object]]] = defaultdict(list)
+    for event in events:
+        if event["type"] == "hotspot_sample":
+            samples[str(event["accountant"])].append(event)
+    if not samples:
+        return ["(no load samples)"]
+    lines: list[str] = []
+    for accountant in sorted(samples):
+        points = sorted(samples[accountant], key=lambda e: float(str(e["at"])))
+        lines.append(f"[{accountant}] samples={len(points)}")
+        shown = points[-top:] if top else points
+        rows = [
+            [
+                f"{float(str(e['at'])):.3f}",
+                str(e["n_nodes"]),
+                str(e["total"]),
+                f"{float(str(e['mean'])):.3f}",
+                str(e["maximum"]),
+                f"{float(str(e['imbalance'])):.3f}",
+            ]
+            for e in shown
+        ]
+        lines.extend(
+            "  " + row
+            for row in _table(
+                ["at", "nodes", "total", "mean", "max", "imbalance"], rows
+            )
+        )
+        if top and len(points) > len(shown):
+            lines.append(f"  ... ({len(points) - len(shown)} earlier samples)")
+        lines.append("")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines
+
+
+def rolling_imbalance(
+    events: list[dict[str, object]], accountant: str = ""
+) -> dict[str, list[tuple[float, float]]]:
+    """Extract (time, imbalance) series per accountant from an export.
+
+    ``accountant`` filters by substring; empty matches all. The CI
+    round-trip job (and ``--require-samples``) use this to assert a
+    dynamics run emitted a non-empty rolling series.
+    """
+    series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for event in events:
+        if event["type"] != "hotspot_sample":
+            continue
+        name = str(event["accountant"])
+        if accountant and accountant not in name:
+            continue
+        series[name].append(
+            (float(str(event["at"])), float(str(event["imbalance"])))
+        )
+    return {name: sorted(points) for name, points in series.items()}
+
+
 def render_report(
     events: list[dict[str, object]],
     sections: Sequence[str] = _SECTIONS,
@@ -168,6 +258,7 @@ def render_report(
         "metrics": _metrics_section,
         "spans": _spans_section,
         "hotspots": _hotspots_section,
+        "samples": _samples_section,
     }
     for section in sections:
         parts.append(f"== {section} ==")
@@ -194,6 +285,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=20,
         help="rows per table, 0 for unlimited (default: 20)",
     )
+    parser.add_argument(
+        "--require-samples",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="SUBSTRING",
+        help=(
+            "exit 1 unless the export carries a non-empty rolling-imbalance "
+            "sample series (optionally: for an accountant matching SUBSTRING)"
+        ),
+    )
     return parser
 
 
@@ -210,6 +312,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     sections = tuple(args.section) if args.section else _SECTIONS
     print(render_report(events, sections=sections, top=args.top), end="")
+    if args.require_samples is not None:
+        series = rolling_imbalance(events, accountant=args.require_samples)
+        n_points = sum(len(points) for points in series.values())
+        if n_points == 0:
+            wanted = args.require_samples or "any accountant"
+            print(
+                f"error: no rolling-imbalance samples found for {wanted}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"rolling-imbalance series: {len(series)} accountant(s), "
+            f"{n_points} sample(s)"
+        )
     return 0
 
 

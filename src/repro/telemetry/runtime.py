@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from typing import IO, TYPE_CHECKING, Callable, Iterator
 
 from repro.telemetry.config import TelemetryConfig
-from repro.telemetry.hotspot import HotspotAccountant
+from repro.telemetry.hotspot import HotspotAccountant, LoadSample
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.spans import NULL_SPAN, Span, SpanBase, SpanRecorder
+
+if TYPE_CHECKING:
+    from repro.telemetry.stream import TelemetryStream
 
 __all__ = [
     "Telemetry",
@@ -39,6 +42,7 @@ __all__ = [
     "count",
     "observe",
     "gauge_set",
+    "sample_hotspots",
 ]
 
 
@@ -60,6 +64,7 @@ class Telemetry:
             clock=self.now, default_buckets=self.config.default_buckets()
         )
         self.spans = SpanRecorder(clock=self.now, max_spans=self.config.max_spans)
+        self._bucket_overrides = self.config.bucket_overrides()
         self._hotspots: dict[str, HotspotAccountant] = {}
         self._lock = threading.Lock()
 
@@ -76,6 +81,10 @@ class Telemetry:
     def _qualify(self, name: str) -> str:
         prefix = self.config.namespace + "_"
         return name if name.startswith(prefix) else prefix + name
+
+    def _unqualify(self, name: str) -> str:
+        prefix = self.config.namespace + "_"
+        return name[len(prefix):] if name.startswith(prefix) else name
 
     def counter(
         self, name: str, help_text: str = "", labels: tuple[str, ...] = ()
@@ -96,7 +105,14 @@ class Telemetry:
         labels: tuple[str, ...] = (),
         buckets: tuple[float, ...] | None = None,
     ) -> Histogram:
-        """Get or create the namespaced histogram family ``name``."""
+        """Get or create the namespaced histogram family ``name``.
+
+        When the caller passes no explicit ``buckets``, the config's
+        per-metric overrides (keyed by unqualified name) are consulted
+        before falling back to the global log-spaced grid.
+        """
+        if buckets is None:
+            buckets = self._bucket_overrides.get(self._unqualify(name))
         return self.metrics.histogram(self._qualify(name), help_text, labels, buckets)
 
     # -- spans -------------------------------------------------------------
@@ -130,6 +146,40 @@ class Telemetry:
         """Registered accountant names, sorted."""
         with self._lock:
             return sorted(self._hotspots)
+
+    def sample_hotspots(self, at: float | None = None) -> dict[str, LoadSample]:
+        """Snapshot every registered accountant at time ``at`` (now if None).
+
+        Each sample is appended to its accountant's rolling series;
+        transports with an engine do this periodically via tick hooks, and
+        experiments can call it at interesting instants.
+        """
+        when = self.now() if at is None else at
+        with self._lock:
+            accountants = dict(self._hotspots)
+        return {name: acc.sample(when) for name, acc in sorted(accountants.items())}
+
+    # -- streaming export --------------------------------------------------
+
+    def attach_stream(
+        self,
+        out: IO[str],
+        chunk_size: int | None = None,
+        sample_every: int | None = None,
+    ) -> "TelemetryStream":
+        """Start a live JSONL export: spans stream to ``out`` as they finish.
+
+        Returns the :class:`~repro.telemetry.stream.TelemetryStream`
+        session; call its ``close()`` to flush the final chunk and append
+        the end-of-run snapshot (config, metrics, hotspots, drop
+        accounting). Defaults come from the config's ``span_chunk_size``
+        and ``span_sample_every``.
+        """
+        from repro.telemetry.stream import TelemetryStream
+
+        return TelemetryStream(
+            self, out, chunk_size=chunk_size, sample_every=sample_every
+        )
 
     def reset(self) -> None:
         """Clear metrics, finished spans, and hotspot accountants."""
@@ -252,3 +302,11 @@ def gauge_set(name: str, value: float, **labels: object) -> None:
     if tel is None:
         return
     tel.gauge(name, labels=tuple(sorted(labels))).set(value, **labels)
+
+
+def sample_hotspots(at: float | None = None) -> dict[str, LoadSample]:
+    """Snapshot every registered hotspot accountant (empty when disabled)."""
+    tel = _active
+    if tel is None:
+        return {}
+    return tel.sample_hotspots(at)

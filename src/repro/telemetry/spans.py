@@ -43,6 +43,16 @@ class SpanBase:
         """Attach (or overwrite) attributes; returns self for chaining."""
         return self
 
+    def set_lazy(self, **attrs: Callable[[], object]) -> "SpanBase":
+        """Attach attributes as zero-arg thunks, evaluated only at export.
+
+        For expensive values (an O(n) tree walk): the span keeps the
+        callable, and exporters call :meth:`Span.resolved_attrs` to
+        materialize it. Spans that are sampled out or evicted never pay
+        the cost.
+        """
+        return self
+
     def finish(self, **attrs: object) -> None:
         """End the span (idempotent); optional final attributes."""
 
@@ -103,6 +113,17 @@ class Span(SpanBase):
         self.attrs.update(attrs)
         return self
 
+    def set_lazy(self, **attrs: Callable[[], object]) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def resolved_attrs(self) -> dict[str, object]:
+        """Attributes with lazy thunks evaluated (memoized back in place)."""
+        for key, value in self.attrs.items():
+            if callable(value):
+                self.attrs[key] = value()
+        return self.attrs
+
     def finish(self, **attrs: object) -> None:
         if self.end is not None:
             return  # idempotent: double-finish keeps the first end time
@@ -140,6 +161,12 @@ class SpanRecorder:
     max_spans:
         Retention cap; the oldest finished spans are evicted beyond it and
         :attr:`dropped` counts how many were lost.
+
+    A streaming consumer (:class:`repro.telemetry.stream.JsonlSpanStream`)
+    attaches itself as :attr:`sink`: a callable given each finished span,
+    returning ``True`` to consume it (the recorder then does **not**
+    retain it — bounded memory — and counts it in :attr:`streamed`) or
+    ``False`` to fall back to retention.
     """
 
     def __init__(self, clock: Callable[[], float], max_spans: int = 100_000) -> None:
@@ -149,6 +176,8 @@ class SpanRecorder:
         self.max_spans = max_spans
         self.finished: list[Span] = []
         self.dropped = 0
+        self.streamed = 0
+        self.sink: Callable[[Span], bool] | None = None
         self._lock = threading.Lock()
         self._ids = 0
         self._stacks = threading.local()
@@ -190,6 +219,11 @@ class SpanRecorder:
                 stack.pop()
             if stack:
                 stack.pop()
+        sink = self.sink
+        if sink is not None and sink(span):
+            with self._lock:
+                self.streamed += 1
+            return
         with self._lock:
             self.finished.append(span)
             overflow = len(self.finished) - self.max_spans
@@ -212,3 +246,4 @@ class SpanRecorder:
         with self._lock:
             self.finished.clear()
             self.dropped = 0
+            self.streamed = 0

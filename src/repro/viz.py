@@ -7,10 +7,14 @@ the Fig. 8 rank plots. Everything is pure text — no plotting dependency.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Union
 
 from repro.chord.ring import StaticRing
 from repro.core.tree import DatTree
+from repro.telemetry.hotspot import HotspotAccountant
+
+#: Histogram input: precomputed per-node totals, or the accountant itself.
+Loads = Union[Mapping[int, int], HotspotAccountant]
 
 __all__ = ["render_tree", "render_ring", "render_load_histogram"]
 
@@ -76,12 +80,17 @@ def render_ring(ring: StaticRing, width: int = 64, mark: int | None = None) -> s
 
 
 def render_load_histogram(
-    loads: Mapping[int, int], width: int = 50, max_rows: int = 20
+    loads: Loads, width: int = 50, max_rows: int = 20
 ) -> str:
     """Horizontal bar chart of per-node loads, sorted descending (Fig. 8a).
 
-    Rows beyond ``max_rows`` are folded into a final summary line.
+    ``loads`` is either a precomputed ``{node: total}`` mapping or a
+    :class:`~repro.telemetry.hotspot.HotspotAccountant` (any transport's
+    ``.stats``), read via its ``loads()`` snapshot. Rows beyond
+    ``max_rows`` are folded into a final summary line.
     """
+    if isinstance(loads, HotspotAccountant):
+        loads = loads.loads()
     ranked = sorted(loads.items(), key=lambda item: (-item[1], item[0]))
     if not ranked:
         return "(no loads)"

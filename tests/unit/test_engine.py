@@ -133,3 +133,78 @@ class TestRunBounds:
         engine.schedule(1.0, lambda: None)
         engine.clear()
         assert engine.pending == 0
+
+
+class TestTickHooks:
+    def test_interval_must_be_positive(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.add_tick_hook(0.0, lambda at: None)
+        with pytest.raises(SimulationError):
+            engine.add_tick_hook(-1.0, lambda at: None)
+
+    def test_fires_once_per_crossed_window(self):
+        engine = SimulationEngine()
+        fired: list[float] = []
+        engine.add_tick_hook(1.0, fired.append)
+        engine.schedule(3.5, lambda: None)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_fires_before_the_crossing_event(self):
+        engine = SimulationEngine()
+        order: list[str] = []
+        engine.add_tick_hook(1.0, lambda at: order.append(f"hook@{at}"))
+        engine.schedule(1.0, lambda: order.append("event@1.0"))
+        engine.run()
+        # A boundary exactly at an event time still samples first, so the
+        # observer sees state as of the window edge.
+        assert order == ["hook@1.0", "event@1.0"]
+
+    def test_hook_sees_pre_event_clock(self):
+        engine = SimulationEngine()
+        seen: list[float] = []
+        engine.add_tick_hook(1.0, lambda at: seen.append(engine.now))
+        engine.schedule(2.5, lambda: None)
+        engine.run()
+        # The clock has not crossed the boundary yet when the hook fires.
+        assert seen == [0.0, 0.0]
+
+    def test_run_until_final_bump_fires_idle_windows(self):
+        engine = SimulationEngine()
+        fired: list[float] = []
+        engine.add_tick_hook(2.0, fired.append)
+        engine.schedule(1.0, lambda: None)
+        at = engine.run(until=5.0)
+        assert at == 5.0
+        # No events past t=1, but every elapsed window still sampled.
+        assert fired == [2.0, 4.0]
+
+    def test_cancel_stops_future_firings(self):
+        engine = SimulationEngine()
+        fired: list[float] = []
+        hook = engine.add_tick_hook(1.0, fired.append)
+        engine.schedule(1.5, lambda: None)
+        engine.run()
+        assert fired == [1.0]
+        hook.cancel()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert fired == [1.0]
+
+    def test_multiple_hooks_independent_intervals(self):
+        engine = SimulationEngine()
+        fired: list[tuple[str, float]] = []
+        engine.add_tick_hook(1.0, lambda at: fired.append(("fast", at)))
+        engine.add_tick_hook(2.0, lambda at: fired.append(("slow", at)))
+        for t in (1.5, 2.5, 3.5):
+            engine.schedule(t, lambda: None)
+        engine.run(until=4.0)
+        assert fired == [
+            ("fast", 1.0),
+            ("fast", 2.0),
+            ("slow", 2.0),
+            ("fast", 3.0),
+            ("fast", 4.0),
+            ("slow", 4.0),
+        ]

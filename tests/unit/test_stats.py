@@ -1,11 +1,18 @@
-"""Unit tests for per-node message accounting."""
+"""Unit tests for per-node message accounting on transports.
 
-from repro.sim.stats import MessageStats
+The accounting class is :class:`repro.telemetry.hotspot.HotspotAccountant`
+(every ``transport.stats`` is one); ``repro.sim.stats.MessageStats`` is a
+deprecated alias kept for one release.
+"""
+
+import pytest
+
+from repro.telemetry.hotspot import HotspotAccountant
 
 
-class TestMessageStats:
+class TestTransportAccounting:
     def test_counts(self):
-        stats = MessageStats()
+        stats = HotspotAccountant()
         stats.record_send(1, 100)
         stats.record_send(1, 50)
         stats.record_receive(2, 100)
@@ -15,42 +22,42 @@ class TestMessageStats:
         assert stats.load(2).bytes_received == 100
 
     def test_total_property(self):
-        stats = MessageStats()
+        stats = HotspotAccountant()
         stats.record_send(1)
         stats.record_receive(1)
         assert stats.load(1).total == 2
 
     def test_unknown_node_zeros(self):
-        assert MessageStats().load(99).total == 0
+        assert HotspotAccountant().load(99).total == 0
 
     def test_nodes_set(self):
-        stats = MessageStats()
+        stats = HotspotAccountant()
         stats.record_send(1)
         stats.record_receive(2)
         assert stats.nodes() == {1, 2}
 
     def test_total_messages_counts_sends(self):
-        stats = MessageStats()
+        stats = HotspotAccountant()
         stats.record_send(1)
         stats.record_send(2)
         stats.record_receive(3)
         assert stats.total_messages() == 2
 
     def test_loads_includes_idle_nodes(self):
-        stats = MessageStats()
+        stats = HotspotAccountant()
         stats.record_send(1)
         loads = stats.loads(nodes=[1, 2, 3])
         assert loads == {1: 1, 2: 0, 3: 0}
 
     def test_by_kind(self):
-        stats = MessageStats()
+        stats = HotspotAccountant()
         stats.record_send(1, kind="lookup")
         stats.record_send(1, kind="lookup")
         stats.record_send(2, kind="notify")
         assert stats.by_kind() == {"lookup": 2, "notify": 1}
 
     def test_reset(self):
-        stats = MessageStats()
+        stats = HotspotAccountant()
         stats.record_send(1, 10, kind="x")
         stats.reset()
         assert stats.total_messages() == 0
@@ -59,7 +66,7 @@ class TestMessageStats:
     def test_thread_safety_smoke(self):
         import threading
 
-        stats = MessageStats()
+        stats = HotspotAccountant()
 
         def hammer():
             for _ in range(1000):
@@ -82,7 +89,7 @@ class TestMessageStats:
         """
         import threading
 
-        stats = MessageStats()
+        stats = HotspotAccountant()
         errors: list[Exception] = []
         stop = threading.Event()
 
@@ -114,16 +121,22 @@ class TestMessageStats:
         assert errors == []
         assert stats.total_messages() == 6000
 
-    def test_is_a_hotspot_accountant(self):
-        """The shim keeps the old name; the implementation is telemetry's."""
-        from repro.telemetry.hotspot import HotspotAccountant
 
-        stats = MessageStats()
-        assert isinstance(stats, HotspotAccountant)
-        stats.record_send(1)
-        stats.record_send(1)
-        stats.record_send(1)
-        stats.record_send(2)
-        # Load-balance statistics ride along: max=3, mean=2 -> imbalance 1.5.
-        assert stats.max_load() == 3
-        assert stats.imbalance() == 1.5
+class TestDeprecatedMessageStatsAlias:
+    def test_sim_stats_alias_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="MessageStats is deprecated"):
+            from repro.sim.stats import MessageStats
+        assert MessageStats is HotspotAccountant
+
+    def test_package_level_alias_warns(self):
+        import repro.sim
+
+        with pytest.warns(DeprecationWarning):
+            alias = repro.sim.MessageStats
+        assert alias is HotspotAccountant
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.sim.stats
+
+        with pytest.raises(AttributeError):
+            repro.sim.stats.NoSuchThing

@@ -404,7 +404,14 @@ class TestExport:
         tel = _populated_telemetry()
         events = [json.loads(line) for line in jsonl_lines(tel)]
         by_type = {e["type"] for e in events}
-        assert by_type == {"config", "metric", "span", "hotspot_node", "hotspot_sample"}
+        assert by_type == {
+            "config",
+            "metric",
+            "span",
+            "span_drops",
+            "hotspot_node",
+            "hotspot_sample",
+        }
         node1 = next(
             e for e in events if e["type"] == "hotspot_node" and e["node"] == 1
         )
@@ -418,7 +425,8 @@ class TestExport:
     def test_write_jsonl_counts_lines(self):
         out = io.StringIO()
         n = write_jsonl(_populated_telemetry(), out)
-        assert n == len(out.getvalue().splitlines()) == 7
+        # config + 2 metrics + span + span_drops + 2 nodes + sample
+        assert n == len(out.getvalue().splitlines()) == 8
 
     def test_prometheus_histogram_is_cumulative(self):
         text = prometheus_text(_populated_telemetry())
