@@ -23,6 +23,7 @@ from typing import Callable
 from repro.chord.fingers import FingerTable
 from repro.chord.host import FingeredHost
 from repro.chord.idspace import IdSpace
+from repro.net import RpcClient
 from repro.sim.messages import Message
 
 __all__ = ["FofCache", "FofMaintainer"]
@@ -87,6 +88,12 @@ class FofMaintainer:
     def __init__(self, host: FingeredHost, interval: float = 1.0) -> None:
         self.host = host
         self.interval = interval
+        host_net = getattr(host, "net", None)
+        self.net: RpcClient = (
+            host_net
+            if isinstance(host_net, RpcClient)
+            else RpcClient(host.transport, host.ident)
+        )
         self.cache = FofCache(space=host.space)
         self._cursor = 0
         self._running = False
@@ -140,7 +147,7 @@ class FofMaintainer:
         def on_timeout(_msg: Message) -> None:
             self.cache.forget(target)
 
-        self.host.transport.call(request, on_reply, on_timeout=on_timeout)
+        self.net.call(request, on_reply, on_timeout=on_timeout)
 
     def refresh_all(self) -> None:
         """Kick a refresh of every distinct finger (test convergence aid)."""

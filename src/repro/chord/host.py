@@ -9,7 +9,7 @@ hosts keep working without inheriting anything.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, MutableMapping, Optional, Protocol
 
 from repro.chord.fingers import FingerTable
 from repro.chord.idspace import IdSpace
@@ -22,12 +22,16 @@ _Upcall = Callable[[Message], Optional[Message]]
 
 
 class ChordHost(Protocol):
-    """Minimal surface a node must expose to host a protocol service."""
+    """Minimal surface a node must expose to host a protocol service.
+
+    ``upcalls`` is any mutable kind->handler mapping — a plain dict or a
+    :class:`repro.net.UpcallRegistry` both satisfy it.
+    """
 
     ident: int
     space: IdSpace
     transport: Transport
-    upcalls: dict[str, _Upcall]
+    upcalls: MutableMapping[str, _Upcall]
 
 
 class FingeredHost(ChordHost, Protocol):

@@ -108,7 +108,7 @@ class ChordNetwork:
             def on_reply(reply: Message) -> None:
                 result["designated"] = reply.payload["designated"]
 
-            self.transport.call(request, on_reply, timeout=self.config.rpc_timeout)
+            gateway.net.call(request, on_reply)
 
         gateway.lookup(point, route_done)
         if isinstance(self.transport, SimTransport):

@@ -21,12 +21,13 @@ Message kinds
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.chord.fingers import FingerTable
 from repro.chord.idspace import IdSpace
 from repro.errors import RoutingError
+from repro.net import RetryPolicy, RpcClient, UpcallRegistry
 from repro.util.bits import cyclic_increment
 from repro.sim.messages import Message
 from repro.sim.transport import Transport
@@ -50,15 +51,20 @@ class ChordConfig:
     rpc_timeout: float = 1.0
     #: Max forwarding hops before a lookup is abandoned (loop guard).
     max_lookup_hops: int = 64
+    #: Attempts per maintenance RPC (ping / get_neighbors). ``1`` — the
+    #: default — reproduces the historical single-attempt behavior exactly;
+    #: raise it (with a backoff) on lossy substrates.
+    rpc_max_attempts: int = 1
+    #: Base backoff between maintenance-RPC retries (seconds).
+    rpc_backoff: float = 0.0
 
-
-@dataclass
-class _LookupState:
-    """Bookkeeping for one outstanding lookup initiated by this node."""
-
-    key: int
-    on_result: Callable[[int, list[int]], None]
-    on_failure: Callable[[int], None] | None = None
+    def rpc_policy(self) -> RetryPolicy:
+        """The retry policy maintenance RPCs run under."""
+        return RetryPolicy(
+            timeout=self.rpc_timeout,
+            max_attempts=self.rpc_max_attempts,
+            backoff_base=self.rpc_backoff,
+        )
 
 
 class ChordProtocolNode:
@@ -96,12 +102,13 @@ class ChordProtocolNode:
         self._next_finger = 0
         self._running = False
         self._timer_cancels: list[Callable[[], None]] = []
-        self._lookup_seq = 0
-        self._lookups: dict[int, _LookupState] = {}
+        #: RPC surface: every remote interaction goes through the session
+        #: layer, which owns deadlines, retries, and per-call telemetry.
+        self.net = RpcClient(transport, ident, policy=self.config.rpc_policy())
         #: Extra upcall hooks: message kind -> handler(message) -> reply|None.
         #: The DAT service layers register their kinds here (paper Fig. 6's
         #: 'upcall' routine).
-        self.upcalls: dict[str, Callable[[Message], Message | None]] = {}
+        self.upcalls = UpcallRegistry()
         transport.register(ident, self._handle)
 
     # ------------------------------------------------------------------ #
@@ -170,7 +177,7 @@ class ChordProtocolNode:
         """
         self.stop_maintenance()
         if self.successor != self.ident and self.predecessor is not None:
-            self.transport.send(
+            self.net.send(
                 Message(
                     kind="leave_notice",
                     source=self.ident,
@@ -178,7 +185,7 @@ class ChordProtocolNode:
                     payload={"new_successor": self.successor},
                 )
             )
-            self.transport.send(
+            self.net.send(
                 Message(
                     kind="leave_notice",
                     source=self.ident,
@@ -262,11 +269,6 @@ class ChordProtocolNode:
         on_failure: Callable[[int], None] | None,
     ) -> None:
         self.space.validate(key)
-        self._lookup_seq += 1
-        token = self._lookup_seq
-        self._lookups[token] = _LookupState(
-            key=key, on_result=on_result, on_failure=on_failure
-        )
         message = Message(
             kind="lookup",
             source=self.ident,
@@ -274,26 +276,32 @@ class ChordProtocolNode:
             payload={
                 "key": key,
                 "origin": self.ident,
-                "token": token,
                 "hops": 0,
                 "path": [],
             },
         )
-        # Per-lookup deadline: recursive forwarding means intermediate hops
-        # never respond to us, so we watch for the terminal reply only.
-        def expire() -> None:
-            state = self._lookups.pop(token, None)
-            if state is not None and state.on_failure is not None:
-                state.on_failure(key)
+        # The conversation token rides in the payload: recursive forwarding
+        # means intermediate hops never respond to us, so the terminal node
+        # answers the *original* request id (``reply_to=token``) and the
+        # session layer's pending table correlates it like any other reply.
+        message.payload["token"] = message.msg_id
 
-        cancel = self.transport.schedule(
-            self.config.rpc_timeout * self.config.max_lookup_hops / 8, expire
+        def deliver(reply: Message) -> None:
+            on_result(reply.payload["result"], list(reply.payload["path"]))
+
+        def fail(_request: Message) -> None:
+            if on_failure is not None:
+                on_failure(key)
+
+        self.net.call(
+            message,
+            deliver,
+            on_timeout=fail,
+            policy=RetryPolicy(
+                timeout=self.config.rpc_timeout * self.config.max_lookup_hops / 8
+            ),
+            send=self._forward_lookup if first_hop == self.ident else None,
         )
-        self._timer_cancels.append(cancel)
-        if first_hop == self.ident:
-            self._forward_lookup(message)
-        else:
-            self.transport.send(message)
 
     def _forward_lookup(self, message: Message) -> None:
         payload = message.payload
@@ -313,7 +321,7 @@ class ChordProtocolNode:
             # All fingers overshoot: the key's successor is our successor.
             self._send_lookup_result(payload, self.successor, path)
             return
-        self.transport.send(
+        self.net.send(
             Message(
                 kind="lookup",
                 source=self.ident,
@@ -333,21 +341,18 @@ class ChordProtocolNode:
     def _send_lookup_result(
         self, payload: dict[str, Any], result: int, path: list[int]
     ) -> None:
-        self.transport.send(
+        # A response to the origin's *original* request: ``reply_to`` is the
+        # conversation token, so the origin's session layer matches it even
+        # though this terminal node never saw that request directly.
+        self.net.send(
             Message(
                 kind="lookup_result",
                 source=self.ident,
                 destination=payload["origin"],
-                payload={"token": payload["token"], "result": result, "path": path},
+                payload={"result": result, "path": path},
+                reply_to=payload["token"],
             )
         )
-
-    def _complete_lookup(self, message: Message) -> None:
-        token = message.payload["token"]
-        state = self._lookups.pop(token, None)
-        if state is None:
-            return  # late result after deadline
-        state.on_result(message.payload["result"], list(message.payload["path"]))
 
     # ------------------------------------------------------------------ #
     # Stabilization (paper: "finger stabilization algorithm")
@@ -409,9 +414,7 @@ class ChordProtocolNode:
             if self.successor == target:
                 self._handle_successor_failure()
 
-        self.transport.call(
-            request, on_reply, on_timeout=on_timeout, timeout=self.config.rpc_timeout
-        )
+        self.net.call(request, on_reply, on_timeout=on_timeout)
 
     def _attempt_rejoin(self) -> None:
         """Ping one remembered peer; if it answers, adopt it as successor.
@@ -438,14 +441,12 @@ class ChordProtocolNode:
                 self.fingers[0] = target
                 self._notify_successor()
 
-        self.transport.call(
-            request, on_reply, timeout=self.config.rpc_timeout
-        )
+        self.net.call(request, on_reply)
 
     def _notify_successor(self) -> None:
         if self.successor == self.ident:
             return
-        self.transport.send(
+        self.net.send(
             Message(
                 kind="notify",
                 source=self.ident,
@@ -506,12 +507,7 @@ class ChordProtocolNode:
             if self.predecessor == target:
                 self.predecessor = None
 
-        self.transport.call(
-            request,
-            lambda reply: None,
-            on_timeout=on_timeout,
-            timeout=self.config.rpc_timeout,
-        )
+        self.net.call(request, lambda reply: None, on_timeout=on_timeout)
 
     # ------------------------------------------------------------------ #
     # Finger maintenance
@@ -562,12 +558,7 @@ class ChordProtocolNode:
             self._purge_dead(current)
             refresh()
 
-        self.transport.call(
-            request,
-            lambda _reply: refresh(),
-            on_timeout=on_timeout,
-            timeout=self.config.rpc_timeout,
-        )
+        self.net.call(request, lambda _reply: refresh(), on_timeout=on_timeout)
 
     def _purge_dead(self, dead: int) -> None:
         """Remove a confirmed-dead node from every local routing structure."""
@@ -593,9 +584,6 @@ class ChordProtocolNode:
         kind = message.kind
         if kind == "lookup":
             self._forward_lookup(message)
-            return None
-        if kind == "lookup_result":
-            self._complete_lookup(message)
             return None
         if kind == "get_neighbors":
             return message.response(

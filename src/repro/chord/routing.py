@@ -5,6 +5,12 @@
 closely precedes the key, terminating at ``v = successor(key)``. The basic
 DAT (Sec. 3.2) is exactly the union of these paths toward a rendezvous key;
 the centralized baseline counts per-node load along them.
+
+This is the *analytical* routing model (pure functions over a converged
+:class:`~repro.chord.ring.StaticRing`). The live equivalent — recursive
+``lookup`` messages with a deadline and reply correlation — runs in
+:class:`~repro.chord.node.ChordProtocolNode` on top of the
+:mod:`repro.net` session layer.
 """
 
 from __future__ import annotations

@@ -77,6 +77,12 @@ class GatherCollector:
         broadcast.on_deliver = self._on_broadcast
         dat.host.upcalls["gather_push"] = self._on_push
 
+    def close(self) -> None:
+        """Detach: restore the chained deliver hook, drop the upcall."""
+        self.broadcast.on_deliver = self._chain_deliver
+        self.dat.host.upcalls.pop("gather_push", None)
+        self._rounds.clear()
+
     @property
     def ident(self) -> int:
         return self.dat.ident
@@ -184,7 +190,7 @@ class GatherCollector:
             )
             parent = self.dat.parent_toward_key(state.key)
             if parent is not None:
-                self.dat.host.transport.send(
+                self.dat.net.send(
                     Message(
                         kind="gather_push",
                         source=self.ident,

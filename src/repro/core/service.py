@@ -37,6 +37,16 @@ from repro.core.aggregates import Aggregate, get_aggregate
 from repro.core.limiting import FingerLimiter
 from repro.core.parent import select_parent_balanced, select_parent_basic
 from repro.errors import AggregationError, TreeError
+from repro.net import (
+    UNBOUNDED_POLICY,
+    Batcher,
+    DeferredResponder,
+    RetryPolicy,
+    RpcClient,
+    UpcallRegistry,
+    gather,
+    install_batch_unwrapper,
+)
 from repro.sim.messages import Message
 from repro.sim.transport import Transport
 from repro.telemetry.spans import SpanBase
@@ -56,17 +66,21 @@ class StandaloneDatHost:
         self.ident = ident
         self.space = space
         self.transport = transport
-        self.upcalls: dict[str, Callable[[Message], Message | None]] = {}
+        self.upcalls = UpcallRegistry()
         transport.register(ident, self._handle)
 
     def _handle(self, message: Message) -> Message | None:
-        handler = self.upcalls.get(message.kind)
-        if handler is None:
-            return None  # unknown kind: drop, like the UDP prototype
-        return handler(message)
+        # Unknown kinds drop, like the UDP prototype — the registry's policy.
+        return self.upcalls.dispatch(message)
 
     def shutdown(self) -> None:
-        """Unregister from the transport."""
+        """Unregister from the transport.
+
+        Unregistering also cancels every RPC this node still has pending
+        (the transport drops their reply/timeout continuations), so hosts
+        can be torn down and rebuilt on one shared transport across
+        repeated experiment runs without leaking handlers or timers.
+        """
         self.transport.unregister(self.ident)
 
 
@@ -114,18 +128,6 @@ class OnDemandRound:
     span: SpanBase | None = None
 
 
-@dataclass
-class _PendingCollect:
-    """Interior-node bookkeeping while its subtree responds."""
-
-    key: int
-    round_id: int
-    requester: int
-    aggregate: Aggregate
-    expected: set[int]
-    states: list[Any] = field(default_factory=list)
-
-
 class DatNodeService:
     """DAT layer of one node.
 
@@ -148,6 +150,16 @@ class DatNodeService:
     children_resolver:
         ``(key, root) -> children of this node`` — required for on-demand
         mode only.
+    retry_policy:
+        :class:`~repro.net.RetryPolicy` governing on-demand collect RPCs.
+        Defaults to :data:`~repro.net.UNBOUNDED_POLICY` — the historical
+        semantics: no deadline, a lost message stalls the round. Pass a
+        bounded policy to retransmit lost collects and finish rounds with
+        whatever subtrees answered.
+    push_batch_window:
+        Flush window (transport seconds) for coalescing same-parent
+        ``agg_push`` messages through a :class:`~repro.net.Batcher`.
+        ``0.0`` (default) sends each push immediately, unchanged.
     """
 
     def __init__(
@@ -159,6 +171,8 @@ class DatNodeService:
         d0_provider: Callable[[], float] | None = None,
         children_resolver: Callable[[int, int], list[int]] | None = None,
         predecessor_provider: Callable[[], int | None] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        push_batch_window: float = 0.0,
     ) -> None:
         if scheme not in ("basic", "balanced"):
             raise ValueError(f"scheme must be 'basic' or 'balanced', got {scheme!r}")
@@ -181,13 +195,41 @@ class DatNodeService:
 
             predecessor_provider = _host_predecessor
         self.predecessor_provider = predecessor_provider
+        self.retry_policy = retry_policy if retry_policy is not None else UNBOUNDED_POLICY
+        # The session layer owns all request-path state: reply correlation
+        # lives in the transport's pending table, deferred-reply dedupe in
+        # the responder — this service keeps no pending-request dicts.
+        host_net = getattr(host, "net", None)
+        self.net: RpcClient = (
+            host_net
+            if isinstance(host_net, RpcClient)
+            else RpcClient(host.transport, host.ident)
+        )
+        self._responder = DeferredResponder(host.transport)
+        self._batcher = Batcher(host.transport, push_batch_window)
         self._continuous: dict[int, _ContinuousState] = {}
-        self._rounds: dict[tuple[int, int], OnDemandRound] = {}
-        self._pending: dict[tuple[int, int], _PendingCollect] = {}
         self._round_seq = 0
         host.upcalls["agg_push"] = self._on_push
         host.upcalls["agg_collect"] = self._on_collect
-        host.upcalls["agg_partial"] = self._on_partial
+        install_batch_unwrapper(host.upcalls, self._dispatch_unbatched)
+
+    def _dispatch_unbatched(self, message: Message) -> None:
+        """Deliver one message unwrapped from a ``net_batch`` envelope."""
+        handler = self.host.upcalls.get(message.kind)
+        if handler is not None:
+            handler(message)
+
+    def close(self) -> None:
+        """Detach from the host: stop pushes, drop upcall registrations.
+
+        The host's own teardown (``shutdown()`` / ``leave()``) cancels any
+        RPCs still pending at the transport.
+        """
+        for key in list(self._continuous):
+            self.stop_continuous(key)
+        self._batcher.close()
+        for kind in ("agg_push", "agg_collect", "net_batch"):
+            self.host.upcalls.pop(kind, None)
 
     # ------------------------------------------------------------------ #
     # Tree position
@@ -320,7 +362,9 @@ class DatNodeService:
         # Partial states are JSON-encodable for the built-in aggregates
         # (numbers / tuples of numbers / dataclass-free forms); the wire
         # layer enforces it when the transport actually serializes.
-        self.host.transport.send(
+        # Pushes ride the batcher: with a zero window (default) this is an
+        # immediate send; with a window, same-parent pushes coalesce.
+        self._batcher.enqueue(
             Message(
                 kind="agg_push",
                 source=self.ident,
@@ -362,7 +406,11 @@ class DatNodeService:
         """Root-side: run one collection round over the tree.
 
         Must be invoked on the root's service (the monitoring facade routes
-        the request there first).
+        the request there first). Each child is asked with one
+        ``agg_collect`` RPC under the service's retry policy; the round
+        completes when every child's subtree has answered or exhausted its
+        attempts (under the default unbounded policy a lost message stalls
+        the round — the historical semantics).
         """
         if self.ident != root:
             raise AggregationError(
@@ -389,106 +437,98 @@ class DatNodeService:
             n_children=len(children),
         )
         state.states.append(agg.lift(self.value_provider()))
-        self._rounds[(key, round_id)] = state
-        if not children:
-            self._finish_round(state)
-            return
-        for child in children:
-            self._send_collect(child, key, root, round_id, agg)
 
-    def _send_collect(
+        def done(replies: dict[int, Message], failed: list[Message]) -> None:
+            if state.done:
+                return
+            state.done = True
+            for child in sorted(replies):
+                reply = replies[child]
+                state.states.append(
+                    _decode_state(reply.payload["state"], state.aggregate)
+                )
+                state.expected.discard(child)
+            merged = state.aggregate.merge_all(state.states)
+            if state.span is not None:
+                state.span.finish(
+                    n_states=len(state.states), n_failed=len(failed)
+                )
+                telemetry.count("collect_rounds_total")
+            state.on_result(state.aggregate.finalize(merged))
+
+        gather(
+            self.net,
+            [self._collect_request(child, key, root, round_id, agg) for child in children],
+            done,
+            policy=self.retry_policy,
+        )
+
+    def _collect_request(
         self, child: int, key: int, root: int, round_id: int, aggregate: Aggregate
-    ) -> None:
-        self.host.transport.send(
-            Message(
-                kind="agg_collect",
-                source=self.ident,
-                destination=child,
-                payload={
-                    "key": key,
-                    "root": root,
-                    "round_id": round_id,
-                    "aggregate": aggregate.name,
-                },
-            )
+    ) -> Message:
+        return Message(
+            kind="agg_collect",
+            source=self.ident,
+            destination=child,
+            payload={
+                "key": key,
+                "root": root,
+                "round_id": round_id,
+                "aggregate": aggregate.name,
+            },
         )
 
     def _on_collect(self, message: Message) -> None:
         payload = message.payload
         key, root, round_id = payload["key"], payload["root"], payload["round_id"]
+        # At-most-once per (requester, key, round): a retransmitted collect
+        # must not fan out into the subtree again — the responder replays
+        # the cached partial (or lets the in-flight gather answer it).
+        if not self._responder.begin((message.source, key, round_id), message):
+            return None
         aggregate = get_aggregate(payload["aggregate"])
         children = (
             self.children_resolver(key, root) if self.children_resolver else []
         )
         local = aggregate.lift(self.value_provider())
         if not children:
-            self._send_partial(message.source, key, round_id, aggregate, local)
-            return
-        pending = _PendingCollect(
-            key=key,
-            round_id=round_id,
-            requester=message.source,
-            aggregate=aggregate,
-            expected=set(children),
-        )
-        pending.states.append(local)
-        self._pending[(key, round_id)] = pending
-        for child in children:
-            self._send_collect(child, key, root, round_id, aggregate)
-        return None
-
-    def _send_partial(
-        self, to: int, key: int, round_id: int, aggregate: Aggregate, state: Any
-    ) -> None:
-        self.host.transport.send(
-            Message(
-                kind="agg_partial",
-                source=self.ident,
-                destination=to,
-                payload={
-                    "key": key,
-                    "round_id": round_id,
-                    "state": _encode_state(state),
-                },
-            )
-        )
-
-    def _on_partial(self, message: Message) -> None:
-        payload = message.payload
-        key, round_id = payload["key"], payload["round_id"]
-        round_key = (key, round_id)
-        if round_key in self._rounds:
-            round_state = self._rounds[round_key]
-            round_state.states.append(
-                _decode_state(payload["state"], round_state.aggregate)
-            )
-            round_state.expected.discard(message.source)
-            if not round_state.expected:
-                self._finish_round(round_state)
+            self._complete_collect(message, aggregate, [local], key, round_id)
             return None
-        pending = self._pending.get(round_key)
-        if pending is None:
-            return None  # stray response after completion
-        pending.states.append(_decode_state(payload["state"], pending.aggregate))
-        pending.expected.discard(message.source)
-        if not pending.expected:
-            del self._pending[round_key]
-            merged = pending.aggregate.merge_all(pending.states)
-            self._send_partial(
-                pending.requester, key, round_id, pending.aggregate, merged
-            )
+
+        def done(replies: dict[int, Message], _failed: list[Message]) -> None:
+            states = [local] + [
+                _decode_state(replies[child].payload["state"], aggregate)
+                for child in sorted(replies)
+            ]
+            self._complete_collect(message, aggregate, states, key, round_id)
+
+        gather(
+            self.net,
+            [self._collect_request(c, key, root, round_id, aggregate) for c in children],
+            done,
+            policy=self.retry_policy,
+        )
         return None
 
-    def _finish_round(self, round_state: OnDemandRound) -> None:
-        if round_state.done:
-            return
-        round_state.done = True
-        del self._rounds[(round_state.key, round_state.round_id)]
-        merged = round_state.aggregate.merge_all(round_state.states)
-        if round_state.span is not None:
-            round_state.span.finish(n_states=len(round_state.states))
-            telemetry.count("collect_rounds_total")
-        round_state.on_result(round_state.aggregate.finalize(merged))
+    def _complete_collect(
+        self,
+        request: Message,
+        aggregate: Aggregate,
+        states: list[Any],
+        key: int,
+        round_id: int,
+    ) -> None:
+        """Answer an ``agg_collect`` with this subtree's merged partial."""
+        merged = aggregate.merge_all(states)
+        self._responder.complete(
+            (request.source, key, round_id),
+            request.response(
+                kind="agg_partial",
+                key=key,
+                round_id=round_id,
+                state=_encode_state(merged),
+            ),
+        )
 
 
 # ---------------------------------------------------------------------- #

@@ -9,6 +9,7 @@ from repro.devtools.datlint.rules import (  # noqa: F401  (import-for-effect)
     dat006_mutable_defaults,
     dat007_excepts,
     dat008_simclock,
+    dat009_rawrpc,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "dat006_mutable_defaults",
     "dat007_excepts",
     "dat008_simclock",
+    "dat009_rawrpc",
 ]

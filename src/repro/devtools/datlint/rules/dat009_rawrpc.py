@@ -1,0 +1,64 @@
+"""DAT009 — request-path policy belongs to the session layer.
+
+``Transport.call`` / ``Transport.expect`` are mechanism: they arm reply
+correlation in the pending table. Policy — deadlines, retries, backoff,
+fan-out — is owned by :mod:`repro.net` (``RpcClient``/``gather``), so a
+protocol service reaching for ``transport.call(...)`` directly is
+re-growing exactly the per-layer timeout handling the session layer
+exists to subsume (and silently opting out of the per-call telemetry
+counters). Services hold an ``RpcClient`` and issue ``self.net.call``.
+
+The session layer itself (:mod:`repro.net`) and the transport base class
+implement the primitives and are exempt; so is :mod:`repro.sim`, whose
+substrates may compose their own plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.astutils import chain_segments
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+#: Packages that legitimately touch the raw RPC primitives.
+_EXEMPT_PACKAGES = ("repro.net", "repro.sim")
+
+#: Transport methods that arm request/reply plumbing.
+_RPC_METHODS = {"call", "expect"}
+
+#: Receiver chain tails that denote a transport object.
+_TRANSPORT_NAMES = {"transport", "_transport"}
+
+
+@register
+class NoRawTransportRpcRule(Rule):
+    code = "DAT009"
+    name = "raw-transport-rpc"
+    rationale = (
+        "Deadlines, retries and backoff live in repro.net's RetryPolicy; "
+        "a raw transport.call() re-implements request-path policy per "
+        "layer and bypasses the session layer's telemetry. Route RPCs "
+        "through RpcClient (self.net.call)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.module_under(*_EXEMPT_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _RPC_METHODS:
+                continue
+            receiver = chain_segments(func.value)
+            if receiver and receiver[-1] in _TRANSPORT_NAMES:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"raw `transport.{func.attr}()` outside repro.net: "
+                    "issue RPCs through RpcClient (`self.net.call`) so "
+                    "retry policy and telemetry apply",
+                )

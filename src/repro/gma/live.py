@@ -31,6 +31,7 @@ from repro.gma.producer import Producer
 from repro.maan.attrs import AttributeSchema, Resource
 from repro.maan.query import QueryResult, RangeQuery
 from repro.maan.service import MaanNodeService
+from repro.net import RetryPolicy
 from repro.sim.latency import ConstantLatency
 from repro.sim.simnet import SimTransport
 
@@ -53,6 +54,13 @@ class LiveGridMonitor:
         :class:`~repro.telemetry.stream.LiveExport`). When either is set
         and no global runtime is installed, the monitor enables telemetry
         itself and disables it again in :meth:`close`.
+    retry_policy:
+        Optional :class:`~repro.net.RetryPolicy` for the MAAN walk and the
+        DAT on-demand paths (default: the services' historical unbounded
+        wait). Makes the whole deployment loss-robust in one knob.
+    push_batch_window:
+        Flush window handed to every DAT service's push
+        :class:`~repro.net.Batcher` (default ``0.0`` — no batching).
     """
 
     def __init__(
@@ -63,6 +71,8 @@ class LiveGridMonitor:
         rng: int | np.random.Generator | None = None,
         telemetry_jsonl: str | os.PathLike | None = None,
         telemetry_prom: str | os.PathLike | None = None,
+        retry_policy: RetryPolicy | None = None,
+        push_batch_window: float = 0.0,
     ) -> None:
         self.config = config
         self.schemas = dict(schemas)
@@ -103,13 +113,17 @@ class LiveGridMonitor:
         self.dat: dict[int, DatNodeService] = {}
         self.collectors: dict[int, GatherCollector] = {}
         for ident, node in self.network.nodes.items():
-            self.maan[ident] = MaanNodeService(node, self.schemas)
+            self.maan[ident] = MaanNodeService(
+                node, self.schemas, retry_policy=retry_policy
+            )
             dat = DatNodeService(
                 node,
                 finger_provider=node.finger_table,
                 value_provider=lambda ident=ident: self._read_local(ident),
                 scheme=config.dat_scheme,
                 d0_provider=self._mean_gap,
+                retry_policy=retry_policy,
+                push_batch_window=push_batch_window,
             )
             self.dat[ident] = dat
             broadcast = BroadcastService(node, finger_provider=node.finger_table)
@@ -126,12 +140,21 @@ class LiveGridMonitor:
         self.transport.run(until=self.transport.now() + duration)
 
     def close(self) -> dict[str, int]:
-        """Finalize the live telemetry export (idempotent).
+        """Tear down services and finalize the telemetry export (idempotent).
 
-        Returns the exporter's line counts (empty when no export was
-        configured). Disables the global runtime only if this monitor
-        enabled it.
+        Detaches every collector / DAT / MAAN service from its host so a
+        fresh monitor can be built on the same process without leaked
+        upcalls or timers, then closes the live export. Returns the
+        exporter's line counts (empty when no export was configured).
+        Disables the global runtime only if this monitor enabled it.
         """
+        for collector in self.collectors.values():
+            collector.close()
+        self.collectors.clear()
+        for service in self.dat.values():
+            service.close()
+        for maan in self.maan.values():
+            maan.close()
         stats: dict[str, int] = {}
         if self.live_export is not None:
             stats = self.live_export.close()

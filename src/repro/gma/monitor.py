@@ -4,6 +4,12 @@ Wires together an overlay (identifier assignment + converged ring), the
 MAAN index, per-node producers, and DAT aggregation; exposes the consumer
 API. This is the object the examples and the accuracy experiment (Fig. 9)
 drive.
+
+This facade evaluates against the **static converged model** — no messages
+are exchanged, so the :mod:`repro.net` session layer is not involved. Its
+live counterpart :class:`~repro.gma.live.LiveGridMonitor` runs the same
+stack over real RPCs and exposes the net layer's knobs (``retry_policy``,
+``push_batch_window``).
 """
 
 from __future__ import annotations

@@ -20,8 +20,6 @@ Chord lookup) and ``successor_provider`` / ``predecessor_provider``.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro import telemetry
@@ -29,22 +27,10 @@ from repro.errors import QueryError, SchemaError
 from repro.maan.attrs import AttributeKind, AttributeSchema, Resource
 from repro.maan.query import MultiAttributeQuery, QueryResult, RangeQuery
 from repro.maan.store import ResourceStore
+from repro.net import UNBOUNDED_POLICY, RetryPolicy, RpcClient
 from repro.sim.messages import Message
-from repro.telemetry.spans import SpanBase
 
 __all__ = ["MaanNodeService"]
-
-_QUERY_IDS = itertools.count(1)
-
-
-@dataclass
-class _PendingQuery:
-    """Originator-side state for one in-flight range query."""
-
-    query: RangeQuery
-    on_result: Callable[[QueryResult], None]
-    lookup_hops: int = 0
-    span: SpanBase | None = None
 
 
 class MaanNodeService:
@@ -63,6 +49,12 @@ class MaanNodeService:
     successor_provider / predecessor_provider:
         Live neighbor pointers, used by the walk's forward/terminate logic.
         Default to the host's attributes when present.
+    retry_policy:
+        :class:`~repro.net.RetryPolicy` for the originator's wait on the
+        walk result. Defaults to :data:`~repro.net.UNBOUNDED_POLICY` — the
+        historical behavior: the walk has no deadline, a lost hop simply
+        leaves the query unresolved. Pass a bounded policy to fail over to
+        an empty result (and retransmit the scan) under loss.
     """
 
     def __init__(
@@ -72,6 +64,7 @@ class MaanNodeService:
         lookup_fn: Callable[..., None] | None = None,
         successor_provider: Callable[[], int] | None = None,
         predecessor_provider: Callable[[], int | None] | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.host = host
         self.schemas = dict(schemas)
@@ -92,10 +85,22 @@ class MaanNodeService:
         if predecessor_provider is None and hasattr(host, "predecessor"):
             predecessor_provider = lambda: host.predecessor  # noqa: E731
         self.predecessor_provider = predecessor_provider
-        self._pending: dict[int, _PendingQuery] = {}
+        self.retry_policy = retry_policy if retry_policy is not None else UNBOUNDED_POLICY
+        # Reuse the host's session layer when it has one (ChordProtocolNode
+        # hosts do) so the whole node shares a single jitter stream.
+        host_net = getattr(host, "net", None)
+        self.net: RpcClient = (
+            host_net
+            if isinstance(host_net, RpcClient)
+            else RpcClient(host.transport, host.ident)
+        )
         host.upcalls["maan_store"] = self._on_store
         host.upcalls["maan_scan"] = self._on_scan
-        host.upcalls["maan_result"] = self._on_result
+
+    def close(self) -> None:
+        """Detach from the host: drop this service's upcall registrations."""
+        for kind in ("maan_store", "maan_scan"):
+            self.host.upcalls.pop(kind, None)
 
     @property
     def ident(self) -> int:
@@ -152,7 +157,7 @@ class MaanNodeService:
                 self.store.put(attribute, value, resource)
                 done(True)
                 return
-            self.host.transport.send(
+            self.net.send(
                 Message(
                     kind="maan_store",
                     source=self.ident,
@@ -196,28 +201,50 @@ class MaanNodeService:
         hasher = self._hashers[query.attribute]
         low_key = hasher(schema.validate_value(query.low))
         high_key = hasher(schema.validate_value(query.high))
-        query_id = next(_QUERY_IDS)
-        self._pending[query_id] = _PendingQuery(
-            query=query,
-            on_result=on_result,
-            span=telemetry.span(
-                "maan.live_query",
-                node=self.ident,
-                attribute=query.attribute,
-                query_id=query_id,
-            ),
+        span = telemetry.span(
+            "maan.live_query", node=self.ident, attribute=query.attribute
         )
+        lookup_hops = 0
+
+        def deliver(reply: Message) -> None:
+            payload = reply.payload
+            seen: set[str] = set()
+            resources = []
+            for entry in payload["matches"]:
+                if entry["resource_id"] not in seen:
+                    seen.add(entry["resource_id"])
+                    resources.append(
+                        Resource(
+                            resource_id=entry["resource_id"],
+                            attributes=entry["attributes"],
+                        )
+                    )
+            result = QueryResult(
+                resources=resources,
+                lookup_hops=lookup_hops,
+                nodes_visited=max(payload["visited"] - 1, 0),
+            )
+            span.finish(
+                hops=result.lookup_hops,
+                nodes_visited=result.nodes_visited,
+                n_resources=len(result.resources),
+            )
+            telemetry.count("maan_queries_total", kind="live")
+            telemetry.observe("maan_query_hops", result.lookup_hops)
+            on_result(result)
+
+        def on_timeout(_scan: Message) -> None:
+            span.finish(failed=True)
+            on_result(QueryResult())  # empty: walk never resolved
 
         def on_start(start: int, path: list[int]) -> None:
-            pending = self._pending.get(query_id)
-            if pending is not None:
-                pending.lookup_hops = len(path) - 1 if path else 0
+            nonlocal lookup_hops
+            lookup_hops = len(path) - 1 if path else 0
             scan = Message(
                 kind="maan_scan",
                 source=self.ident,
                 destination=start,
                 payload={
-                    "query_id": query_id,
                     "originator": self.ident,
                     "attribute": query.attribute,
                     "low": query.low,
@@ -229,17 +256,20 @@ class MaanNodeService:
                     "matches": [],
                 },
             )
-            if start == self.ident:
-                self._on_scan(scan)
-            else:
-                self.host.transport.send(scan)
+            # The walk's terminal node answers the original scan directly
+            # (``reply_to=token``); the session layer owns the wait.
+            scan.payload["token"] = scan.msg_id
+            self.net.call(
+                scan,
+                deliver,
+                on_timeout=on_timeout,
+                policy=self.retry_policy,
+                send=self._on_scan if start == self.ident else None,
+            )
 
         def on_failure(_key: int) -> None:
-            pending = self._pending.pop(query_id, None)
-            if pending is not None:
-                if pending.span is not None:
-                    pending.span.finish(failed=True)
-                pending.on_result(QueryResult())  # empty: lookup failed
+            span.finish(failed=True)
+            on_result(QueryResult())  # empty: lookup failed
 
         self.lookup_fn(low_key, on_start, on_failure)
 
@@ -276,20 +306,18 @@ class MaanNodeService:
             or successor == self.ident
             or successor == payload["start"]
         ):
-            self.host.transport.send(
+            # Terminal hop: answer the originator's scan request directly.
+            self.net.send(
                 Message(
                     kind="maan_result",
                     source=self.ident,
                     destination=payload["originator"],
-                    payload={
-                        "query_id": payload["query_id"],
-                        "matches": matches,
-                        "visited": visited,
-                    },
+                    payload={"matches": matches, "visited": visited},
+                    reply_to=payload["token"],
                 )
             )
             return None
-        self.host.transport.send(
+        self.net.send(
             Message(
                 kind="maan_scan",
                 source=self.ident,
@@ -326,34 +354,3 @@ class MaanNodeService:
 
         self.range_query(dominant, filter_and_deliver)
 
-    def _on_result(self, message: Message) -> None:
-        payload = message.payload
-        pending = self._pending.pop(payload["query_id"], None)
-        if pending is None:
-            return None  # duplicate / late
-        seen: set[str] = set()
-        resources = []
-        for entry in payload["matches"]:
-            if entry["resource_id"] not in seen:
-                seen.add(entry["resource_id"])
-                resources.append(
-                    Resource(
-                        resource_id=entry["resource_id"],
-                        attributes=entry["attributes"],
-                    )
-                )
-        result = QueryResult(
-            resources=resources,
-            lookup_hops=pending.lookup_hops,
-            nodes_visited=max(payload["visited"] - 1, 0),
-        )
-        if pending.span is not None:
-            pending.span.finish(
-                hops=result.lookup_hops,
-                nodes_visited=result.nodes_visited,
-                n_resources=len(result.resources),
-            )
-            telemetry.count("maan_queries_total", kind="live")
-            telemetry.observe("maan_query_hops", result.lookup_hops)
-        pending.on_result(result)
-        return None

@@ -1,0 +1,55 @@
+"""repro.net — the session/RPC plane between protocol services and transports.
+
+The protocol layers (DAT aggregation, MAAN range queries, Chord routing)
+used to re-implement RPC plumbing by hand: per-service pending-request
+dicts, ad-hoc timeout callbacks, hand-rolled ``reply_to`` correlation.
+This package implements that machinery once, directly above
+:mod:`repro.sim.transport`:
+
+* :class:`~repro.net.retry.RetryPolicy` — deadline, bounded attempts,
+  exponential backoff with deterministic jitter (one policy object per
+  call path; :data:`DEFAULT_POLICY` is bit-identical to the historical
+  single-attempt behavior, :data:`UNBOUNDED_POLICY` to the historical
+  wait-forever paths).
+* :class:`~repro.net.client.RpcClient` / :class:`~repro.net.client.Peer`
+  — per-node call surface implementing the retry loop, same-``msg_id``
+  retransmission, local first-hop dispatch, and per-call telemetry.
+* :class:`~repro.net.envelope.UpcallRegistry`,
+  :func:`~repro.net.envelope.error_reply`,
+  :class:`~repro.net.envelope.DeferredResponder` — message-kind dispatch,
+  the shared error envelope, and at-most-once deferred replies.
+* :func:`~repro.net.fanout.gather` / :class:`~repro.net.fanout.Batcher`
+  — parallel collection rounds and same-destination push coalescing.
+
+See ``docs/NET.md`` for the layer diagram and migration notes.
+"""
+
+from repro.net.client import Peer, RpcClient
+from repro.net.envelope import (
+    ERROR_KIND,
+    DeferredResponder,
+    Upcall,
+    UpcallRegistry,
+    error_reply,
+    is_error_reply,
+)
+from repro.net.fanout import BATCH_KIND, Batcher, gather, install_batch_unwrapper
+from repro.net.retry import DEFAULT_POLICY, UNBOUNDED_POLICY, RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "DEFAULT_POLICY",
+    "UNBOUNDED_POLICY",
+    "RpcClient",
+    "Peer",
+    "Upcall",
+    "UpcallRegistry",
+    "ERROR_KIND",
+    "error_reply",
+    "is_error_reply",
+    "DeferredResponder",
+    "gather",
+    "Batcher",
+    "BATCH_KIND",
+    "install_batch_unwrapper",
+]

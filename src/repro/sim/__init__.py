@@ -17,8 +17,11 @@ This package reproduces that design:
   for unit tests.
 
 Per-node message accounting lives on every transport as
-``transport.stats``, a :class:`repro.telemetry.hotspot.HotspotAccountant`
-(the historical ``MessageStats`` name is a deprecated alias).
+``transport.stats``, a :class:`repro.telemetry.hotspot.HotspotAccountant`.
+
+Request-path policy (deadlines, retries, fan-out, batching) is layered on
+top of :class:`~repro.sim.transport.Transport` by :mod:`repro.net` —
+protocol services talk to that session layer, not to ``call`` directly.
 """
 
 from repro.sim.engine import Event, SimulationEngine, TickHook
@@ -35,17 +38,6 @@ from repro.sim.simnet import SimTransport
 from repro.sim.udprpc import UdpRpcTransport
 from repro.sim.tracing import MessageTracer, TraceRecord, get_logger, trace
 
-
-def __getattr__(name: str) -> object:
-    # Deprecated alias, resolved lazily so importing repro.sim stays silent;
-    # ``repro.sim.MessageStats`` warns via repro.sim.stats.__getattr__.
-    if name == "MessageStats":
-        from repro.sim import stats
-
-        return stats.MessageStats
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 __all__ = [
     "Event",
     "TickHook",
@@ -57,7 +49,6 @@ __all__ = [
     "Message",
     "encode_message",
     "decode_message",
-    "MessageStats",  # noqa: F822 - lazy deprecated alias (__getattr__)
     "Transport",
     "MessageHandler",
     "InprocTransport",

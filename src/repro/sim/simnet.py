@@ -4,6 +4,12 @@ Messages are delivered through the :class:`~repro.sim.engine.SimulationEngine`
 after a latency drawn from a pluggable model; optional loss and per-node
 failure injection support the churn experiments. This is the substrate the
 paper used for networks of up to 8192 nodes.
+
+Loss injected here surfaces to protocol code as RPC timeouts; the session
+layer in :mod:`repro.net` decides what happens next (give up, or retransmit
+under a :class:`~repro.net.RetryPolicy`). Its retries re-send the same
+``msg_id``, so the message/byte accounting below counts every attempt —
+exactly what a wire capture would show.
 """
 
 from __future__ import annotations

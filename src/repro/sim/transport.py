@@ -13,18 +13,38 @@ a :class:`~repro.sim.messages.Message`, the transport delivers it as the
 response; returning ``None`` means either "no response" or "response will be
 sent later via :meth:`Transport.send`" (the transport matches ``reply_to``
 against pending calls in both cases).
+
+Protocol services should not call :meth:`Transport.call` directly — the
+session layer in :mod:`repro.net` (``RpcClient`` / ``gather`` / ``Batcher``)
+owns request-path policy (deadlines, retries, backoff, batching) and is the
+sanctioned way to issue RPCs; datlint rule DAT009 flags raw ``transport.call``
+use outside that layer. :meth:`expect` is the lower-level primitive the net
+layer builds on: it arms reply correlation for a message *without* sending
+it, so a retrying caller can re-send the same request (same ``msg_id``)
+under a fresh deadline.
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 from repro.errors import TransportError
 from repro.sim.messages import Message
 from repro.telemetry.hotspot import HotspotAccountant
 
 __all__ = ["MessageHandler", "ReplyCallback", "TimeoutCallback", "Transport"]
+
+
+def _no_cancel() -> None:
+    """Canceller for deadline-free calls (``timeout=math.inf``)."""
+
+
+class _PendingCall(NamedTuple):
+    on_reply: "ReplyCallback"
+    cancel: Callable[[], None]
+    source: int
 
 MessageHandler = Callable[[Message], Optional[Message]]
 ReplyCallback = Callable[[Message], None]
@@ -40,8 +60,8 @@ class Transport(ABC):
     def __init__(self) -> None:
         self.stats = HotspotAccountant()
         self._handlers: dict[int, MessageHandler] = {}
-        # Pending request-id -> (on_reply, cancel_timeout)
-        self._pending: dict[int, tuple[ReplyCallback, Callable[[], None]]] = {}
+        # Pending request-id -> (on_reply, cancel_timeout, source node)
+        self._pending: dict[int, _PendingCall] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -54,8 +74,14 @@ class Transport(ABC):
         self._handlers[node] = handler
 
     def unregister(self, node: int) -> None:
-        """Detach a node (its messages are dropped afterwards)."""
+        """Detach a node (its messages are dropped afterwards).
+
+        Pending calls the node originated are cancelled — their reply and
+        timeout continuations never fire — so tearing a node down cannot
+        leak timers or resurrect callbacks into a departed service.
+        """
         self._handlers.pop(node, None)
+        self.cancel_calls(node)
 
     def is_registered(self, node: int) -> bool:
         """True if the node currently has a handler."""
@@ -89,6 +115,37 @@ class Transport(ABC):
     # RPC on top of send
     # ------------------------------------------------------------------ #
 
+    def expect(
+        self,
+        message: Message,
+        on_reply: ReplyCallback,
+        on_timeout: TimeoutCallback | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        """Arm reply correlation for ``message`` without sending it.
+
+        A response whose ``reply_to`` matches ``message.msg_id`` will be
+        routed to ``on_reply``; if none arrives within ``timeout`` the
+        entry is dropped and ``on_timeout`` (if given) fires with the
+        original message. ``timeout=None`` adopts ``default_timeout``;
+        ``math.inf`` arms correlation with no deadline at all (no timer is
+        scheduled). Re-arming an already-pending ``msg_id`` replaces the
+        entry under a fresh deadline — that is how :mod:`repro.net`
+        implements same-id retransmission.
+        """
+        deadline = self.default_timeout if timeout is None else timeout
+
+        def expire() -> None:
+            entry = self._pending.pop(message.msg_id, None)
+            if entry is not None and on_timeout is not None:
+                on_timeout(message)
+
+        stale = self._pending.pop(message.msg_id, None)
+        if stale is not None:
+            stale.cancel()
+        cancel = _no_cancel if math.isinf(deadline) else self.schedule(deadline, expire)
+        self._pending[message.msg_id] = _PendingCall(on_reply, cancel, message.source)
+
     def call(
         self,
         message: Message,
@@ -100,17 +157,25 @@ class Transport(ABC):
 
         If no response arrives within ``timeout`` the request is abandoned
         and ``on_timeout`` (if given) fires with the original message.
+        Equivalent to :meth:`expect` followed by :meth:`send`.
         """
-        deadline = self.default_timeout if timeout is None else timeout
-
-        def expire() -> None:
-            entry = self._pending.pop(message.msg_id, None)
-            if entry is not None and on_timeout is not None:
-                on_timeout(message)
-
-        cancel = self.schedule(deadline, expire)
-        self._pending[message.msg_id] = (on_reply, cancel)
+        self.expect(message, on_reply, on_timeout, timeout)
         self.send(message)
+
+    def cancel_calls(self, source: int) -> int:
+        """Cancel every pending call originated by ``source``.
+
+        Returns the number of calls cancelled; neither their reply nor
+        their timeout continuation will fire.
+        """
+        stale = [
+            msg_id
+            for msg_id, entry in self._pending.items()
+            if entry.source == source
+        ]
+        for msg_id in stale:
+            self._pending.pop(msg_id).cancel()
+        return len(stale)
 
     def _dispatch(self, message: Message) -> None:
         """Route an arriving message to a pending call or a node handler.
@@ -122,9 +187,8 @@ class Transport(ABC):
         if message.is_response:
             entry = self._pending.pop(message.reply_to, None)
             if entry is not None:
-                on_reply, cancel = entry
-                cancel()
-                on_reply(message)
+                entry.cancel()
+                entry.on_reply(message)
             # Unmatched responses (late after timeout) are dropped, as in UDP.
             return
         handler = self._handlers.get(message.destination)

@@ -10,6 +10,13 @@ execution model).
 
 Routes to nodes hosted by *other* processes can be added explicitly with
 :meth:`UdpRpcTransport.add_route`, enabling genuine multi-process clusters.
+
+This class implements only the substrate (sockets, timers, the wall
+clock); request-path policy — deadlines, retries, backoff — lives in
+:mod:`repro.net` and is identical over UDP and the simulator. A lost
+datagram here is indistinguishable from simulated loss: the pending call
+expires and the caller's :class:`~repro.net.RetryPolicy` decides whether
+to retransmit.
 """
 
 from __future__ import annotations

@@ -1,7 +1,7 @@
 """Per-node hotspot accounting — the runtime analogue of Fig. 8.
 
 :class:`HotspotAccountant` subsumes the transport-level message counters
-(``sim.stats.MessageStats`` is now a thin shim over it) and adds the load
+(the historical ``MessageStats`` class, now removed) and adds the load
 statistics the paper's Sec. 5.3 evaluation is built on: rolling max and
 percentile load across nodes, and the imbalance factor (max load divided by
 average load) as a time series sampled on the sim clock.

@@ -33,7 +33,7 @@ def codes(diagnostics) -> set[str]:
 # --------------------------------------------------------------------- #
 
 
-def test_all_eight_rules_registered():
+def test_all_nine_rules_registered():
     assert [r.code for r in all_rules()] == [
         "DAT001",
         "DAT002",
@@ -43,6 +43,7 @@ def test_all_eight_rules_registered():
         "DAT006",
         "DAT007",
         "DAT008",
+        "DAT009",
     ]
     for rule in all_rules():
         assert rule.name and rule.rationale
@@ -334,6 +335,45 @@ def test_dat008_line_suppression_marks_the_substrate_boundary(tmp_path):
     diagnostics, suppressed = lint_snippet(tmp_path, source)
     assert diagnostics == []
     assert suppressed == 1
+
+
+# --------------------------------------------------------------------- #
+# DAT009 — raw transport RPC outside repro.net
+# --------------------------------------------------------------------- #
+
+
+def test_dat009_flags_raw_transport_call_and_expect(tmp_path):
+    source = (
+        "def probe(self, request, on_reply):\n"
+        "    self.transport.call(request, on_reply)\n"
+        "    self.host.transport.expect(request, on_reply)\n"
+        "    transport.call(request, on_reply)\n"
+    )
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/chord/somefeature.py"
+    )
+    assert [d.rule for d in diagnostics] == ["DAT009"] * 3
+    assert "RpcClient" in diagnostics[0].message
+
+
+def test_dat009_allows_session_layer_and_substrates(tmp_path):
+    source = "def go(self, m, cb):\n    self.transport.call(m, cb)\n"
+    for relpath in ("repro/net/client.py", "repro/sim/transport.py"):
+        diagnostics, _ = lint_snippet(tmp_path, source, relpath=relpath)
+        assert diagnostics == []
+
+
+def test_dat009_ignores_unrelated_call_methods(tmp_path):
+    source = (
+        "def fine(self, request, on_reply):\n"
+        "    self.net.call(request, on_reply)\n"      # the sanctioned path
+        "    self.transport.send(request)\n"          # fire-and-forget is fine
+        "    self.mock.call(request)\n"               # not a transport
+    )
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/core/somefeature.py"
+    )
+    assert diagnostics == []
 
 
 # --------------------------------------------------------------------- #

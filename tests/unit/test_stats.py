@@ -1,11 +1,8 @@
 """Unit tests for per-node message accounting on transports.
 
 The accounting class is :class:`repro.telemetry.hotspot.HotspotAccountant`
-(every ``transport.stats`` is one); ``repro.sim.stats.MessageStats`` is a
-deprecated alias kept for one release.
+(every ``transport.stats`` is one).
 """
-
-import pytest
 
 from repro.telemetry.hotspot import HotspotAccountant
 
@@ -120,23 +117,3 @@ class TestTransportAccounting:
             t.join()
         assert errors == []
         assert stats.total_messages() == 6000
-
-
-class TestDeprecatedMessageStatsAlias:
-    def test_sim_stats_alias_warns_and_resolves(self):
-        with pytest.warns(DeprecationWarning, match="MessageStats is deprecated"):
-            from repro.sim.stats import MessageStats
-        assert MessageStats is HotspotAccountant
-
-    def test_package_level_alias_warns(self):
-        import repro.sim
-
-        with pytest.warns(DeprecationWarning):
-            alias = repro.sim.MessageStats
-        assert alias is HotspotAccountant
-
-    def test_unknown_attribute_still_raises(self):
-        import repro.sim.stats
-
-        with pytest.raises(AttributeError):
-            repro.sim.stats.NoSuchThing

@@ -8,6 +8,7 @@ no-op path, both exporters, and the report CLI.
 
 from __future__ import annotations
 
+import csv
 import io
 import json
 import threading
@@ -29,7 +30,13 @@ from repro.telemetry import (
 )
 from repro.telemetry.hotspot import percentile
 from repro.telemetry.report import main as report_main
-from repro.telemetry.report import render_report
+from repro.telemetry.report import (
+    ROLLING_FIELDS,
+    render_report,
+    rolling_samples,
+    write_rolling_csv,
+    write_rolling_json,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -492,3 +499,77 @@ class TestReport:
         path.write_text('{"type":"metric"}\nnot json\n')
         assert report_main([str(path)]) == 2
         assert "line 2" in capsys.readouterr().err
+
+
+class TestRollingArtifacts:
+    """The plot-ready CSV/JSON emitters for the rolling-imbalance series."""
+
+    def _events(self):
+        return [json.loads(line) for line in jsonl_lines(_populated_telemetry())]
+
+    def test_rolling_samples_shape(self):
+        records = rolling_samples(self._events())
+        assert len(records) == 1
+        record = records[0]
+        assert tuple(record) == ROLLING_FIELDS
+        assert record["accountant"] == "transport"
+        # loads: node1=4, node2=1 -> total 5, mean 2.5, max 4, imbalance 1.6
+        assert record["n_nodes"] == 2
+        assert record["total"] == 5
+        assert record["maximum"] == 4
+        assert record["imbalance"] == 1.6
+
+    def test_rolling_samples_accountant_filter(self):
+        events = self._events()
+        assert rolling_samples(events, accountant="transp")
+        assert rolling_samples(events, accountant="no-such") == []
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "rolling.csv"
+        assert write_rolling_csv(self._events(), str(path)) == 1
+        with open(path, encoding="utf-8", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert rows[0]["accountant"] == "transport"
+        assert float(rows[0]["imbalance"]) == 1.6
+        assert int(rows[0]["maximum"]) == 4
+
+    def test_csv_empty_series_writes_header_only(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_rolling_csv([], str(path)) == 0
+        header = path.read_text(encoding="utf-8").strip()
+        assert header == ",".join(ROLLING_FIELDS)
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "rolling.json"
+        assert write_rolling_json(self._events(), str(path)) == 1
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["fields"] == list(ROLLING_FIELDS)
+        assert document["samples"][0]["imbalance"] == 1.6
+
+    def test_cli_flags_write_artifacts(self, tmp_path, capsys):
+        export = tmp_path / "run.jsonl"
+        with open(export, "w", encoding="utf-8") as handle:
+            write_jsonl(_populated_telemetry(), handle)
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        code = report_main(
+            [
+                str(export),
+                "--section", "samples",
+                "--rolling-csv", str(csv_path),
+                "--rolling-json", str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote 1 rolling sample(s) to {csv_path}" in out
+        assert csv_path.exists() and json_path.exists()
+
+    def test_cli_unwritable_artifact_exits_2(self, tmp_path, capsys):
+        export = tmp_path / "run.jsonl"
+        with open(export, "w", encoding="utf-8") as handle:
+            write_jsonl(_populated_telemetry(), handle)
+        bad = tmp_path / "no-such-dir" / "out.csv"
+        assert report_main([str(export), "--rolling-csv", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

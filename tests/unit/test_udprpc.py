@@ -171,6 +171,53 @@ class TestTimeoutRetry:
         assert wait_until(lambda: len(timeouts) == 1)
 
 
+class TestNetLayerOverUdp:
+    """RpcClient retransmission over real loopback sockets."""
+
+    def test_loopback_retry_recovers_dropped_requests(self, transport):
+        from repro.net import RetryPolicy, RpcClient
+
+        calls: list[int] = []
+
+        def drops_first_two(m: Message):
+            calls.append(m.msg_id)
+            if len(calls) <= 2:
+                return None  # swallow the request: the datagram "was lost"
+            return m.response(ok=len(calls))
+
+        transport.register(1, lambda m: None)
+        transport.register(2, drops_first_two)
+        client = RpcClient(transport, 1)
+        replies: list[Message] = []
+        client.call(
+            client.request("q", 2),
+            replies.append,
+            on_timeout=lambda m: pytest.fail("retries should recover"),
+            policy=RetryPolicy(timeout=0.15, max_attempts=5),
+        )
+        assert wait_until(lambda: len(replies) == 1)
+        assert replies[0].payload["ok"] == 3
+        # Every attempt carried the same msg_id (UDP retransmit semantics).
+        assert len(set(calls)) == 1
+        assert wait_until(lambda: transport.pending_calls() == 0)
+
+    def test_loopback_bounded_give_up(self, transport):
+        from repro.net import RetryPolicy, RpcClient
+
+        transport.register(1, lambda m: None)
+        client = RpcClient(transport, 1)
+        failures: list[Message] = []
+        request = client.request("q", 99)
+        client.call(
+            request,
+            lambda r: pytest.fail("unreachable destination"),
+            on_timeout=failures.append,
+            policy=RetryPolicy(timeout=0.1, max_attempts=3),
+        )
+        assert wait_until(lambda: failures == [request])
+        assert transport.pending_calls() == 0
+
+
 class TestRouting:
     def test_address_of_local(self, transport):
         transport.register(5, lambda m: None)
