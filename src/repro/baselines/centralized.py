@@ -22,7 +22,7 @@ Loads use the library-wide accounting: messages sent + received per node.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro import telemetry
 from repro.chord.fingers import FingerTable
@@ -100,7 +100,7 @@ class CentralizedAggregator:
         self.routed = routed
         self.root = ring.successor(key)
 
-    def aggregate(self, values: Mapping[int, float], aggregate: Aggregate):
+    def aggregate(self, values: Mapping[int, float], aggregate: Aggregate) -> Any:
         """Compute the global aggregate over per-node ``values``."""
         missing = [node for node in self.ring if node not in values]
         if missing:

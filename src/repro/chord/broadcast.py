@@ -127,6 +127,16 @@ class BroadcastService:
         self._seen: set[int] = set()
         host.upcalls["bcast"] = self._on_broadcast
 
+    def close(self) -> None:
+        """Detach from the host: release the ``bcast`` upcall registration.
+
+        Without this, a departed node's service keeps handling broadcasts
+        relayed to its ident for as long as the host object lives.
+        """
+        # `==`, not `is`: bound-method objects are recreated per access.
+        if self.host.upcalls.get("bcast") == self._on_broadcast:
+            self.host.upcalls.pop("bcast", None)
+
     def broadcast(self, payload: Any) -> int:
         """Start a network-wide broadcast from this node; returns its id."""
         BroadcastService._id_counter += 1

@@ -118,6 +118,13 @@ class FofMaintainer:
             self._cancel()
             self._cancel = None
 
+    def close(self) -> None:
+        """Stop and release the ``get_fingers`` upcall registration."""
+        self.stop()
+        # `==`, not `is`: bound-method objects are recreated per access.
+        if self.host.upcalls.get("get_fingers") == self._on_get_fingers:
+            self.host.upcalls.pop("get_fingers", None)
+
     def _schedule(self) -> None:
         if not self._running:
             return

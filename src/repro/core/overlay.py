@@ -87,12 +87,16 @@ class DatOverlay:
     # ------------------------------------------------------------------ #
 
     def close(self) -> dict[str, int]:
-        """Finalize the live telemetry export (idempotent).
+        """Tear down every node service, then finalize telemetry (idempotent).
 
+        Services are closed first so their final spans land in the export.
         Returns the exporter's line counts (empty when no export was
         configured). Disables the global runtime only if this overlay
         enabled it.
         """
+        for service in list(self.services.values()):
+            service.close()
+        self.services.clear()
         stats: dict[str, int] = {}
         if self.live_export is not None:
             stats = self.live_export.close()
@@ -127,11 +131,12 @@ class DatOverlay:
         )
 
     def remove_node(self, ident: int, graceful: bool = True) -> None:
-        """Depart a node (stops its continuous aggregations first)."""
+        """Depart a node (closes its DAT service first)."""
         service = self.services.pop(ident, None)
         if service is not None:
-            for key in list(service._continuous):
-                service.stop_continuous(key)
+            # Full teardown, not just stop_continuous: the service also
+            # holds upcall registrations and a batcher on the host.
+            service.close()
         self.network.remove_node(ident, graceful=graceful)
 
     def _estimate_d0(self) -> float:

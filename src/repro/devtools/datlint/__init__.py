@@ -17,16 +17,29 @@ Command line::
 
 from repro.devtools.datlint.context import FileContext
 from repro.devtools.datlint.diagnostics import Diagnostic
-from repro.devtools.datlint.registry import Rule, all_rules, register
+from repro.devtools.datlint.program import ProgramContext, build_program
+from repro.devtools.datlint.registry import (
+    ProgramRule,
+    Rule,
+    all_program_rules,
+    all_rules,
+    register,
+    register_program,
+)
 from repro.devtools.datlint.runner import LintReport, lint_file, lint_paths
 
 __all__ = [
     "Diagnostic",
     "FileContext",
     "LintReport",
+    "ProgramContext",
+    "ProgramRule",
     "Rule",
+    "all_program_rules",
     "all_rules",
+    "build_program",
     "register",
+    "register_program",
     "lint_file",
     "lint_paths",
 ]

@@ -1,0 +1,263 @@
+"""Project-wide call graph and transitive blocking analysis.
+
+Builds on the :class:`~repro.devtools.datlint.program.ProgramContext`
+symbol table. Edges are resolved conservatively:
+
+* ``helper(...)`` — a function of the same module, or one imported from a
+  project module;
+* ``self.method(...)`` — the enclosing class (or a resolvable project base
+  class);
+* ``obj.method(...)`` — when ``obj`` is a parameter/local/attribute whose
+  project class type is known (constructor assignment or annotation).
+
+Unresolvable calls simply contribute no edge — the analysis prefers
+missing an edge over inventing one, because its consumers (transitive
+DAT005) gate CI.
+
+The blocking analysis seeds from the same primitive table as the
+single-file DAT005 rule, then propagates reachability backwards over the
+call graph, keeping one witness callee per function so diagnostics can
+print the full chain (``f -> g -> time.sleep``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.devtools.datlint.program import (
+    ClassInfo,
+    FunctionInfo,
+    ProgramContext,
+    attr_chain,
+)
+
+__all__ = [
+    "CallGraph",
+    "BlockingAnalysis",
+    "TypeEnv",
+    "build_call_graph",
+    "analyze_blocking",
+]
+
+#: Dotted calls that block the calling thread (mirrors DAT005's table).
+BLOCKING_CALLS = {
+    "time.sleep",
+    "socket.socket",
+    "socket.create_connection",
+    "select.select",
+    "subprocess.run",
+    "subprocess.check_output",
+}
+
+#: Attribute calls that are blocking socket/file primitives anywhere.
+BLOCKING_METHODS = {"recv", "recvfrom", "accept", "sendall", "makefile"}
+
+
+@dataclass
+class CallGraph:
+    """callers -> callees over resolved project functions."""
+
+    program: ProgramContext
+    #: caller qualname -> {callee qualname -> first call-site node}
+    edges: dict[str, dict[str, ast.Call]] = field(default_factory=dict)
+    #: caller qualname -> [(dotted text, node)] for primitive-level checks
+    primitive_calls: dict[str, list[tuple[str | None, ast.Call]]] = field(
+        default_factory=dict
+    )
+
+    def callees(self, qualname: str) -> dict[str, ast.Call]:
+        return self.edges.get(qualname, {})
+
+
+def _render(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _render(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+class TypeEnv:
+    """Best-effort local type environment for one function body."""
+
+    def __init__(self, program: ProgramContext, fn: FunctionInfo) -> None:
+        self.program = program
+        self.fn = fn
+        self.vars: dict[str, str] = {}  # name -> class qualname
+        args = fn.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is not None:
+                resolved = program.resolve_class_annotation(
+                    fn.module, arg.annotation
+                )
+                if resolved is not None:
+                    self.vars[arg.arg] = resolved
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                resolved = program.resolve_constructed_class(fn.module, node.value)
+                if resolved is not None:
+                    self.vars.setdefault(node.targets[0].id, resolved)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                resolved = program.resolve_class_annotation(
+                    fn.module, node.annotation
+                )
+                if resolved is not None:
+                    self.vars.setdefault(node.target.id, resolved)
+
+    def type_of_chain(self, chain: list[str]) -> str | None:
+        """Resolve the class of ``a.b.c`` (all but the last segment)."""
+        if not chain:
+            return None
+        head, rest = chain[0], chain[1:]
+        if head == "self" and self.fn.cls is not None:
+            current: str | None = self.fn.cls
+        else:
+            current = self.vars.get(head)
+        for segment in rest:
+            if current is None:
+                return None
+            info = self.program.classes.get(current)
+            if info is None:
+                return None
+            current = None
+            for cls in self.program.mro(info):
+                if segment in cls.attr_types:
+                    current = cls.attr_types[segment]
+                    break
+        return current
+
+
+def _resolve_call(
+    program: ProgramContext, env: TypeEnv, fn: FunctionInfo, call: ast.Call
+) -> FunctionInfo | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        target = program.resolve_name(fn.module, func.id)
+        if target is not None and target in program.functions:
+            return program.functions[target]
+        # A constructor call edges into the class's __init__.
+        info = program.resolve_class(fn.module, func.id)
+        if info is not None:
+            return program.lookup_method(info, "__init__")
+        return None
+    if isinstance(func, ast.Attribute):
+        chain = attr_chain(func)
+        if chain is None:
+            return None
+        receiver, method = chain[:-1], chain[-1]
+        # ``module.function(...)`` via the import map.
+        if len(receiver) == 1:
+            imported = program.imports.get(fn.module, {}).get(receiver[0])
+            if imported is not None:
+                qual = f"{imported}.{method}"
+                if qual in program.functions:
+                    return program.functions[qual]
+        owner_qual = env.type_of_chain(receiver)
+        if owner_qual is not None:
+            info = program.classes.get(owner_qual)
+            if info is not None:
+                return program.lookup_method(info, method)
+    return None
+
+
+def build_call_graph(program: ProgramContext) -> CallGraph:
+    """Resolve every call site of every indexed function."""
+    graph = CallGraph(program=program)
+    for qualname, fn in program.functions.items():
+        env = TypeEnv(program, fn)
+        edges: dict[str, ast.Call] = {}
+        primitives: list[tuple[str | None, ast.Call]] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            primitives.append((_render(node.func), node))
+            callee = _resolve_call(program, env, fn, node)
+            if callee is not None and callee.qualname != qualname:
+                edges.setdefault(callee.qualname, node)
+        graph.edges[qualname] = edges
+        graph.primitive_calls[qualname] = primitives
+    return graph
+
+
+@dataclass
+class BlockingAnalysis:
+    """Which functions (transitively) reach a blocking primitive."""
+
+    #: qualname -> human-readable primitive (``time.sleep`` / ``.recv()``)
+    direct: dict[str, str] = field(default_factory=dict)
+    #: qualname -> witness callee qualname on a path to a blocking call
+    via: dict[str, str] = field(default_factory=dict)
+
+    def is_blocking(self, qualname: str) -> bool:
+        return qualname in self.direct or qualname in self.via
+
+    def chain(self, qualname: str, limit: int = 8) -> list[str]:
+        """Witness path from ``qualname`` to the blocking primitive."""
+        path = [qualname]
+        current = qualname
+        while current in self.via and len(path) < limit:
+            current = self.via[current]
+            path.append(current)
+        if current in self.direct:
+            path.append(self.direct[current])
+        return path
+
+
+def analyze_blocking(
+    graph: CallGraph,
+    barrier: "Callable[[str], bool] | None" = None,
+) -> BlockingAnalysis:
+    """Fixpoint of blocking reachability over the call graph.
+
+    ``barrier(qualname)`` marks functions *sanctioned* to block (the
+    real-time transports, CLI entry points, explicitly suppressed sites):
+    they are neither seeded as blocking roots nor propagated through, so
+    a library caller of ``UdpRpcTransport.close`` is not flagged for the
+    transport's own sanctioned socket work.
+    """
+    analysis = BlockingAnalysis()
+    sanctioned = barrier if barrier is not None else (lambda _qualname: False)
+    for qualname, primitives in graph.primitive_calls.items():
+        if sanctioned(qualname):
+            continue
+        fn = graph.program.functions.get(qualname)
+        suppressions = fn.ctx.suppressions if fn is not None else None
+        for dotted, node in primitives:
+            if suppressions is not None and suppressions.is_suppressed(
+                "DAT005", node.lineno
+            ):
+                continue  # the direct site is sanctioned; don't propagate
+            if dotted in BLOCKING_CALLS:
+                analysis.direct[qualname] = f"{dotted}()"
+                break
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BLOCKING_METHODS
+            ):
+                analysis.direct[qualname] = f".{node.func.attr}()"
+                break
+    # Reverse-propagate: a caller of a blocking function is blocking.
+    reverse: dict[str, list[str]] = {}
+    for caller, callees in graph.edges.items():
+        for callee in callees:
+            reverse.setdefault(callee, []).append(caller)
+    frontier = list(analysis.direct)
+    while frontier:
+        current = frontier.pop()
+        for caller in reverse.get(current, ()):
+            if caller in analysis.direct or caller in analysis.via:
+                continue
+            if sanctioned(caller):
+                continue  # sanctioned functions absorb, not propagate
+            analysis.via[caller] = current
+            frontier.append(caller)
+    return analysis

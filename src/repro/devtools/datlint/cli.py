@@ -11,7 +11,11 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.devtools.datlint.registry import all_rules, rule_codes
+from repro.devtools.datlint.registry import (
+    all_program_rules,
+    all_rules,
+    rule_codes,
+)
 from repro.devtools.datlint.runner import lint_paths
 
 __all__ = ["main", "build_parser"]
@@ -21,10 +25,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.datlint",
         description=(
-            "Project-specific static analysis: determinism (DAT001), "
-            "id-space hygiene (DAT002), float equality (DAT003), library "
-            "print (DAT004), blocking calls (DAT005), mutable defaults "
-            "(DAT006), except hygiene (DAT007)."
+            "Project-specific static analysis. Single-file rules: "
+            "determinism (DAT001), id-space hygiene (DAT002), float "
+            "equality (DAT003), library print (DAT004), blocking calls "
+            "(DAT005), mutable defaults (DAT006), except hygiene "
+            "(DAT007), sim-clock (DAT008), raw-rpc (DAT009). "
+            "Whole-program rules: transitive blocking (DAT005), lock "
+            "discipline (DAT010), resource lifecycle (DAT011), "
+            "deterministic iteration (DAT012)."
         ),
     )
     parser.add_argument(
@@ -54,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--warn-unused-suppressions",
+        action="store_true",
+        help=(
+            "report stale `# datlint: disable=` comments (DAT013); "
+            "incompatible with --select/--ignore, which would make every "
+            "suppression of an unselected rule look stale"
+        ),
+    )
     return parser
 
 
@@ -81,10 +98,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in all_rules():
             print(f"{rule.code}  {rule.name}")
             print(f"    {rule.rationale}")
+        for rule in all_program_rules():
+            print(f"{rule.code}  {rule.name}  [whole-program]")
+            print(f"    {rule.rationale}")
         return 0
 
     if not args.paths:
         parser.error("no paths given (try: python -m repro.devtools.datlint src/)")
+
+    if args.warn_unused_suppressions and (args.select or args.ignore):
+        parser.error(
+            "--warn-unused-suppressions needs a full-rule run; "
+            "drop --select/--ignore"
+        )
 
     missing = [str(path) for path in args.paths if not path.exists()]
     if missing:
@@ -92,7 +118,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     codes = _resolve_rule_codes(parser, args.select, args.ignore)
     rules = [rule for rule in all_rules() if rule.code in codes]
-    report = lint_paths(args.paths, rules=rules)
+    program_rules = [
+        rule for rule in all_program_rules() if rule.code in codes
+    ]
+    report = lint_paths(
+        args.paths,
+        rules=rules,
+        program_rules=program_rules,
+        warn_unused_suppressions=args.warn_unused_suppressions,
+    )
 
     if args.format == "json":
         print(

@@ -12,6 +12,18 @@ Suppression grammar
 * On a line of its own (only whitespace before the ``#``), the comment
   suppresses the listed rules for the **whole file**.
 * Trailing a statement, it suppresses the listed rules on that **line** only.
+
+Each comment is also recorded as a :class:`SuppressionRecord` so the runner
+can report suppressions that no longer silence anything
+(``--warn-unused-suppressions``).
+
+Guard annotations
+-----------------
+``# guarded-by: _lock`` on an attribute assignment inside a class declares
+that the attribute may only be mutated while holding ``self._lock`` — the
+explicit contract consumed by rule DAT010 (lock discipline). The
+annotation complements inference (an attribute written under the lock
+anywhere is treated as guarded everywhere).
 """
 
 from __future__ import annotations
@@ -23,11 +35,19 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["FileContext", "parse_suppressions", "module_name_for"]
+__all__ = [
+    "FileContext",
+    "SuppressionRecord",
+    "parse_suppressions",
+    "parse_guard_annotations",
+    "module_name_for",
+]
 
 _SUPPRESS_RE = re.compile(
     r"#\s*datlint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+)"
 )
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_]\w*)")
 
 
 def module_name_for(path: Path) -> str:
@@ -50,6 +70,29 @@ def module_name_for(path: Path) -> str:
 
 
 @dataclass
+class SuppressionRecord:
+    """One ``# datlint: disable=...`` comment, tracked for usage.
+
+    ``line`` is where the comment sits; ``codes`` the rule codes it lists
+    (``{"ALL"}`` for ``disable=all``); ``standalone`` whether it governs
+    the whole file (own line) or just its own line. ``used`` flips to
+    ``True`` the first time the record actually suppresses a diagnostic —
+    records still ``False`` at the end of a run are stale.
+    """
+
+    line: int
+    codes: frozenset[str]
+    standalone: bool
+    used: bool = False
+
+    def matches(self, rule: str, line: int) -> bool:
+        """Whether this record suppresses ``rule`` reported at ``line``."""
+        if not self.standalone and line != self.line:
+            return False
+        return "ALL" in self.codes or rule in self.codes
+
+
+@dataclass
 class _SuppressionTable:
     """Which rules are off for the file / for individual lines."""
 
@@ -57,6 +100,7 @@ class _SuppressionTable:
     by_line: dict[int, set[str]] = field(default_factory=dict)
     suppress_all_file: bool = False
     all_lines: set[int] = field(default_factory=set)
+    records: list[SuppressionRecord] = field(default_factory=list)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         if self.suppress_all_file or rule in self.file_level:
@@ -65,18 +109,25 @@ class _SuppressionTable:
             return True
         return rule in self.by_line.get(line, set())
 
+    def consume(self, rule: str, line: int) -> bool:
+        """Like :meth:`is_suppressed`, but marks matching records as used."""
+        hit = False
+        for record in self.records:
+            if record.matches(rule, line):
+                record.used = True
+                hit = True
+        return hit
+
+    def unused_records(self) -> list[SuppressionRecord]:
+        """Records that suppressed nothing during the run, in line order."""
+        return [r for r in self.records if not r.used]
+
 
 def parse_suppressions(source: str) -> _SuppressionTable:
     """Extract the suppression table from ``# datlint: disable=...`` comments."""
     table = _SuppressionTable()
-    try:
-        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenError, SyntaxError, IndentationError):
-        return table
     lines = source.splitlines()
-    for token in tokens:
-        if token.type != tokenize.COMMENT:
-            continue
+    for token in _comment_tokens(source):
         match = _SUPPRESS_RE.search(token.string)
         if match is None:
             continue
@@ -88,6 +139,9 @@ def parse_suppressions(source: str) -> _SuppressionTable:
         row, col = token.start
         line_text = lines[row - 1] if row - 1 < len(lines) else ""
         standalone = line_text[:col].strip() == ""
+        table.records.append(
+            SuppressionRecord(line=row, codes=frozenset(codes), standalone=standalone)
+        )
         if "ALL" in codes:
             if standalone:
                 table.suppress_all_file = True
@@ -101,6 +155,25 @@ def parse_suppressions(source: str) -> _SuppressionTable:
     return table
 
 
+def _comment_tokens(source: str) -> list[tokenize.TokenInfo]:
+    """All COMMENT tokens of ``source`` (empty when tokenization fails)."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    return [token for token in tokens if token.type == tokenize.COMMENT]
+
+
+def parse_guard_annotations(source: str) -> dict[int, str]:
+    """``line -> lock attribute`` for every ``# guarded-by: <lock>`` comment."""
+    guards: dict[int, str] = {}
+    for token in _comment_tokens(source):
+        match = _GUARDED_BY_RE.search(token.string)
+        if match is not None:
+            guards[token.start[0]] = match.group("lock")
+    return guards
+
+
 class FileContext:
     """Everything a rule needs to analyze one file."""
 
@@ -110,6 +183,7 @@ class FileContext:
         self.tree = tree
         self.module = module_name_for(path)
         self.suppressions = parse_suppressions(source)
+        self.guard_annotations = parse_guard_annotations(source)
 
     # ------------------------------------------------------------------ #
     # Module-classification helpers used by rule exemption lists

@@ -5,10 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["Diagnostic", "PARSE_ERROR_CODE"]
+__all__ = ["Diagnostic", "PARSE_ERROR_CODE", "UNUSED_SUPPRESSION_CODE"]
 
 #: Pseudo-rule code used for files that fail to parse.
 PARSE_ERROR_CODE = "DAT000"
+
+#: Pseudo-rule code for stale ``# datlint: disable=`` comments
+#: (``--warn-unused-suppressions``); not a registered rule and itself
+#: unsuppressible — delete the stale comment instead.
+UNUSED_SUPPRESSION_CODE = "DAT013"
 
 
 @dataclass(frozen=True, order=True)

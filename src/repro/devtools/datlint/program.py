@@ -1,0 +1,598 @@
+"""Whole-program analysis: the project-wide symbol table.
+
+Everything the flow-aware rule families (DAT005-transitive, DAT010-012)
+share lives here: one :class:`ProgramContext` built from every parsed file
+of a lint run, indexing
+
+* **modules** — each file's :class:`~repro.devtools.datlint.context.FileContext`
+  plus its import map (local name -> fully qualified target),
+* **classes** — :class:`ClassInfo` records with methods, base classes,
+  attribute types, lock ownership, and lock-guard contracts,
+* **functions** — :class:`FunctionInfo` records (module functions and
+  methods) that the call graph in
+  :mod:`repro.devtools.datlint.callgraph` links together.
+
+Resolution is deliberately *syntactic and conservative*: an attribute type
+is known only when ``__init__`` assigns a resolvable constructor call
+(``self.spans = SpanRecorder(...)``) or an annotation names a project
+class; everything else stays unresolved and the rules stay silent about
+it. False negatives are acceptable; false positives are not — the linter
+gates CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.devtools.datlint.context import FileContext
+
+__all__ = [
+    "AttrWrite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProgramContext",
+    "build_program",
+    "LOCK_FACTORIES",
+    "TEARDOWN_METHODS",
+]
+
+#: ``threading`` constructors whose product is a mutual-exclusion guard.
+LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Method names that count as a class's teardown entry points.
+TEARDOWN_METHODS = {
+    "close",
+    "shutdown",
+    "stop",
+    "detach",
+    "leave",
+    "crash",
+    "stop_maintenance",
+    "__exit__",
+    "unregister",
+}
+
+#: Container methods that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "append",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+    "sort",
+    "reverse",
+    "appendleft",
+    "popleft",
+}
+
+
+def attr_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``None`` for computed roots.
+
+    Subscripts are transparent (``self.x[k].y`` -> ``["self", "x", "y"]``)
+    so guarded-container element writes resolve to the container attribute.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Name):
+            parts.append(current.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+@dataclass
+class AttrWrite:
+    """One mutation of ``self.<attr>`` inside a method."""
+
+    attr: str
+    node: ast.AST
+    method: str
+    locks_held: frozenset[str]
+    in_init: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # module.fn or module.Class.fn
+    name: str
+    module: str
+    cls: str | None  # owning class qualname, if a method
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: FileContext
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with the facts the program rules consume."""
+
+    qualname: str  # module.Class
+    name: str
+    module: str
+    node: ast.ClassDef
+    ctx: FileContext
+    base_names: list[str] = field(default_factory=list)  # raw base exprs
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Attributes assigned a ``threading.Lock``/``RLock``/``Condition``.
+    lock_attrs: set[str] = field(default_factory=set)
+    #: attr -> class qualname, when ``__init__`` makes the type evident.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attr -> lock attr from explicit ``# guarded-by:`` annotations.
+    annotated_guards: dict[str, str] = field(default_factory=dict)
+    #: attr -> lock attr inferred from locked writes outside ``__init__``.
+    inferred_guards: dict[str, str] = field(default_factory=dict)
+    #: Attributes with set-typed values (``self.x = set()`` / ``: set[...]``).
+    set_attrs: set[str] = field(default_factory=set)
+    #: Every ``self.<attr>`` mutation, per method.
+    attr_writes: list[AttrWrite] = field(default_factory=list)
+
+    @property
+    def guarded(self) -> dict[str, str]:
+        """attr -> lock attr (annotations win over inference)."""
+        merged = dict(self.inferred_guards)
+        merged.update(self.annotated_guards)
+        return merged
+
+    @property
+    def teardown_methods(self) -> list[str]:
+        """This class's teardown entry points, in definition order."""
+        return [m for m in self.methods if m in TEARDOWN_METHODS]
+
+    def has_method(self, name: str) -> bool:
+        return name in self.methods
+
+
+class ProgramContext:
+    """The whole-program symbol table for one lint run."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, FileContext] = {}  # module -> context
+        self.classes: dict[str, ClassInfo] = {}  # qualname -> info
+        self.functions: dict[str, FunctionInfo] = {}  # qualname -> info
+        #: module -> {local name -> fully qualified target}
+        self.imports: dict[str, dict[str, str]] = {}
+        #: bare class name -> qualnames (for last-resort resolution)
+        self._by_class_name: dict[str, list[str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_file(self, ctx: FileContext) -> None:
+        module = ctx.module
+        self.files[module] = ctx
+        imports = self.imports.setdefault(module, {})
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                base = node.module or ""
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._index_class(ctx, stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{module}.{stmt.name}"
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname,
+                    name=stmt.name,
+                    module=module,
+                    cls=None,
+                    node=stmt,
+                    ctx=ctx,
+                )
+
+    def _index_class(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        qualname = f"{ctx.module}.{node.name}"
+        info = ClassInfo(
+            qualname=qualname,
+            name=node.name,
+            module=ctx.module,
+            node=node,
+            ctx=ctx,
+        )
+        for base in node.bases:
+            rendered = _render(base)
+            if rendered is not None:
+                info.base_names.append(rendered)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_qualname = f"{qualname}.{stmt.name}"
+                fn = FunctionInfo(
+                    qualname=fn_qualname,
+                    name=stmt.name,
+                    module=ctx.module,
+                    cls=qualname,
+                    node=stmt,
+                    ctx=ctx,
+                )
+                info.methods[stmt.name] = fn
+                self.functions[fn_qualname] = fn
+                _scan_method(info, fn)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if _is_set_annotation(stmt.annotation):
+                    info.set_attrs.add(stmt.target.id)
+        self.classes[qualname] = info
+        self._by_class_name.setdefault(node.name, []).append(qualname)
+
+    def finalize(self) -> None:
+        """Second pass once every file is indexed: resolve attribute types."""
+        for info in self.classes.values():
+            init = info.methods.get("__init__")
+            if init is not None:
+                self._resolve_attr_types(info, init)
+            # Annotation-based attribute types from the class body / __init__.
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.AnnAssign):
+                    target = node.target
+                    attr = None
+                    if isinstance(target, ast.Name):
+                        attr = target.id
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attr = target.attr
+                    if attr is not None and attr not in info.attr_types:
+                        resolved = self.resolve_class_annotation(
+                            info.module, node.annotation
+                        )
+                        if resolved is not None:
+                            info.attr_types[attr] = resolved
+
+    def _resolve_attr_types(self, info: ClassInfo, init: FunctionInfo) -> None:
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            resolved = self.resolve_constructed_class(info.module, node.value)
+            if resolved is not None:
+                info.attr_types.setdefault(target.attr, resolved)
+        # Parameter-annotation types: ``def __init__(self, spans: SpanRecorder)``
+        # followed by ``self.spans = spans``.
+        param_types: dict[str, str] = {}
+        args = init.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is not None:
+                resolved = self.resolve_class_annotation(info.module, arg.annotation)
+                if resolved is not None:
+                    param_types[arg.arg] = resolved
+        for node in ast.walk(init.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and isinstance(node.targets[0].value, ast.Name)
+                and node.targets[0].value.id == "self"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in param_types
+            ):
+                info.attr_types.setdefault(
+                    node.targets[0].attr, param_types[node.value.id]
+                )
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_name(self, module: str, name: str) -> str | None:
+        """Resolve a local ``name`` in ``module`` to a fully qualified target."""
+        if f"{module}.{name}" in self.classes or f"{module}.{name}" in self.functions:
+            return f"{module}.{name}"
+        return self.imports.get(module, {}).get(name)
+
+    def resolve_class(self, module: str, name: str) -> ClassInfo | None:
+        """Resolve a (possibly dotted) class reference used in ``module``."""
+        head, _, rest = name.partition(".")
+        target = self.resolve_name(module, head)
+        if target is not None:
+            full = f"{target}.{rest}" if rest else target
+            if full in self.classes:
+                return self.classes[full]
+            # ``from repro.x import Cls`` resolves to repro.x.Cls directly.
+            if target in self.classes and not rest:
+                return self.classes[target]
+        # Last resort: a unique bare class name anywhere in the program.
+        candidates = self._by_class_name.get(name.rsplit(".", 1)[-1], [])
+        if len(candidates) == 1:
+            return self.classes[candidates[0]]
+        return None
+
+    def resolve_constructed_class(
+        self, module: str, value: ast.expr
+    ) -> str | None:
+        """Class qualname when ``value`` is a resolvable constructor call."""
+        if not isinstance(value, ast.Call):
+            return None
+        rendered = _render(value.func)
+        if rendered is None:
+            return None
+        info = self.resolve_class(module, rendered)
+        return info.qualname if info is not None else None
+
+    def resolve_class_annotation(
+        self, module: str, annotation: ast.expr
+    ) -> str | None:
+        """Class qualname a (possibly string / optional) annotation names."""
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        # Unwrap Optional[X] / X | None / "X | None".
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            for side in (annotation.left, annotation.right):
+                resolved = self.resolve_class_annotation(module, side)
+                if resolved is not None:
+                    return resolved
+            return None
+        if isinstance(annotation, ast.Subscript):
+            rendered = _render(annotation.value)
+            if rendered is not None and rendered.rsplit(".", 1)[-1] == "Optional":
+                return self.resolve_class_annotation(module, annotation.slice)
+            return None
+        rendered = _render(annotation)
+        if rendered is None or rendered in ("None",):
+            return None
+        info = self.resolve_class(module, rendered)
+        return info.qualname if info is not None else None
+
+    def class_of_method(self, fn: FunctionInfo) -> ClassInfo | None:
+        return self.classes.get(fn.cls) if fn.cls is not None else None
+
+    def mro(self, info: ClassInfo) -> Iterator[ClassInfo]:
+        """``info`` then its resolvable project base classes, depth-first."""
+        seen: set[str] = set()
+        stack = [info]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            yield current
+            for base in current.base_names:
+                resolved = self.resolve_class(current.module, base)
+                if resolved is not None:
+                    stack.append(resolved)
+
+    def lookup_method(self, info: ClassInfo, name: str) -> FunctionInfo | None:
+        """Find ``name`` on ``info`` or any resolvable base class."""
+        for cls in self.mro(info):
+            if name in cls.methods:
+                return cls.methods[name]
+        return None
+
+
+def _render(node: ast.expr) -> str | None:
+    """Render a Name/Attribute chain to dotted text (``None`` otherwise)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _render(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    """Whether an annotation denotes a ``set``/``frozenset`` type."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    rendered = _render(target)
+    if rendered is None:
+        return False
+    return rendered.rsplit(".", 1)[-1] in ("set", "Set", "frozenset", "FrozenSet",
+                                           "MutableSet", "AbstractSet")
+
+
+def _is_set_expr(value: ast.expr) -> bool:
+    """Whether an expression evidently builds a set."""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        rendered = _render(value.func)
+        if rendered is not None and rendered.rsplit(".", 1)[-1] in (
+            "set",
+            "frozenset",
+        ):
+            return True
+    return False
+
+
+class _LockScopeVisitor(ast.NodeVisitor):
+    """Walks one method recording self-attribute writes and held locks."""
+
+    def __init__(self, info: ClassInfo, fn: FunctionInfo) -> None:
+        self.info = info
+        self.fn = fn
+        self.locks: list[str] = []
+
+    # -- lock scopes -------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            chain = attr_chain(item.context_expr)
+            expr = item.context_expr
+            # ``with self._lock:`` or ``with self._lock.acquire_timeout(...)``
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+            ):
+                chain = attr_chain(expr.func.value)
+            if (
+                chain is not None
+                and len(chain) == 2
+                and chain[0] == "self"
+                and chain[1] in self.info.lock_attrs
+            ):
+                acquired.append(chain[1])
+        self.locks.extend(acquired)
+        self.generic_visit(node)
+        for _ in acquired:
+            self.locks.pop()
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    # -- writes ------------------------------------------------------------
+
+    def _record(self, attr: str, node: ast.AST) -> None:
+        self.info.attr_writes.append(
+            AttrWrite(
+                attr=attr,
+                node=node,
+                method=self.fn.name,
+                locks_held=frozenset(self.locks),
+                in_init=self.fn.name == "__init__",
+            )
+        )
+
+    def _self_attr_of(self, target: ast.expr) -> str | None:
+        chain = attr_chain(target)
+        if chain is not None and len(chain) >= 2 and chain[0] == "self":
+            return chain[1]
+        return None
+
+    def _record_target(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element, node)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_target(target.value, node)
+            return
+        attr = self._self_attr_of(target)
+        if attr is not None:
+            self._record(attr, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target, node)
+        # Track set-typed attributes while we are here.
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Attribute)
+            and isinstance(node.targets[0].value, ast.Name)
+            and node.targets[0].value.id == "self"
+            and _is_set_expr(node.value)
+        ):
+            self.info.set_attrs.add(node.targets[0].attr)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_target(node.target, node)
+        attr = self._self_attr_of(node.target)
+        if attr is not None and _is_set_annotation(node.annotation):
+            self.info.set_attrs.add(attr)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_target(target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # ``self.<attr>.append(...)`` and friends mutate the attribute.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+        ):
+            attr = self._self_attr_of(node.func.value)
+            if attr is not None:
+                self._record(attr, node)
+        self.generic_visit(node)
+
+
+def _scan_method(info: ClassInfo, fn: FunctionInfo) -> None:
+    """Populate lock ownership, guard inference, and write records."""
+    guards = fn.ctx.guard_annotations
+    for node in ast.walk(fn.node):
+        # Lock ownership: ``self.X = threading.Lock()`` (any method).
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Attribute)
+            and isinstance(node.targets[0].value, ast.Name)
+            and node.targets[0].value.id == "self"
+            and isinstance(node.value, ast.Call)
+        ):
+            rendered = _render(node.value.func)
+            if rendered is not None and rendered.rsplit(".", 1)[-1] in LOCK_FACTORIES:
+                root = rendered.split(".")[0]
+                if root in ("threading", "Lock", "RLock", "Condition") or "." not in rendered:
+                    info.lock_attrs.add(node.targets[0].attr)
+        # Explicit guard contracts: an assignment line carrying # guarded-by:.
+        if isinstance(node, (ast.Assign, ast.AnnAssign)) and node.lineno in guards:
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    info.annotated_guards[target.attr] = guards[node.lineno]
+    visitor = _LockScopeVisitor(info, fn)
+    visitor.visit(fn.node)
+
+
+def _infer_guards(info: ClassInfo) -> None:
+    """An attribute written under a lock outside ``__init__`` is guarded."""
+    for write in info.attr_writes:
+        if write.in_init or not write.locks_held:
+            continue
+        if write.attr in info.lock_attrs:
+            continue
+        lock = sorted(write.locks_held)[0]
+        info.inferred_guards.setdefault(write.attr, lock)
+
+
+def build_program(contexts: Iterable[FileContext]) -> ProgramContext:
+    """Index every file and finalize cross-file resolution."""
+    program = ProgramContext()
+    for ctx in contexts:
+        program.add_file(ctx)
+    program.finalize()
+    for info in program.classes.values():
+        _infer_guards(info)
+    return program

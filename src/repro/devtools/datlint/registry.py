@@ -1,4 +1,4 @@
-"""Rule base class and the pluggable rule registry.
+"""Rule base classes and the pluggable rule registries.
 
 A rule is a class with a ``code`` (``DATnnn``), a short ``name``, a
 ``rationale`` tied to the paper's requirements, and a ``check`` method
@@ -6,18 +6,42 @@ yielding :class:`~repro.devtools.datlint.diagnostics.Diagnostic` records.
 Decorating with :func:`register` adds it to the global registry the runner
 and CLI iterate over; external extensions can register additional rules the
 same way before invoking the runner.
+
+Two registries exist since v2:
+
+* **file rules** (:class:`Rule` / :func:`register`) see one
+  :class:`~repro.devtools.datlint.context.FileContext` at a time;
+* **program rules** (:class:`ProgramRule` / :func:`register_program`) see
+  the whole-program
+  :class:`~repro.devtools.datlint.program.ProgramContext` after every file
+  is parsed, and power the flow-aware families (DAT010-012 and the
+  transitive upgrade of DAT005 — the one code intentionally present in
+  both registries: the file rule flags direct call sites, the program rule
+  flags functions that merely *reach* one).
 """
 
 from __future__ import annotations
 
 import abc
 import ast
-from typing import Iterator, TypeVar
+from typing import TYPE_CHECKING, Iterator, TypeVar
 
 from repro.devtools.datlint.context import FileContext
 from repro.devtools.datlint.diagnostics import Diagnostic
 
-__all__ = ["Rule", "register", "all_rules", "get_rule", "rule_codes"]
+if TYPE_CHECKING:
+    from repro.devtools.datlint.program import ProgramContext
+
+__all__ = [
+    "Rule",
+    "ProgramRule",
+    "register",
+    "register_program",
+    "all_rules",
+    "all_program_rules",
+    "get_rule",
+    "rule_codes",
+]
 
 
 class Rule(abc.ABC):
@@ -47,9 +71,38 @@ class Rule(abc.ABC):
         )
 
 
+class ProgramRule(abc.ABC):
+    """One whole-program datlint check."""
+
+    #: Stable identifier, e.g. ``"DAT010"``.
+    code: str = ""
+    #: Short kebab-case name, e.g. ``"lock-discipline"``.
+    name: str = ""
+    #: One-paragraph justification (surfaced by ``--list-rules``).
+    rationale: str = ""
+
+    @abc.abstractmethod
+    def check_program(self, program: ProgramContext) -> Iterator[Diagnostic]:
+        """Yield one diagnostic per violation found across the program."""
+
+    def diagnostic(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``'s source location."""
+        return Diagnostic(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROGRAM_REGISTRY: dict[str, ProgramRule] = {}
 
 RuleT = TypeVar("RuleT", bound="type[Rule]")
+ProgramRuleT = TypeVar("ProgramRuleT", bound="type[ProgramRule]")
 
 
 def register(rule_cls: RuleT) -> RuleT:
@@ -63,16 +116,32 @@ def register(rule_cls: RuleT) -> RuleT:
     return rule_cls
 
 
+def register_program(rule_cls: ProgramRuleT) -> ProgramRuleT:
+    """Class decorator adding a whole-program rule to its registry."""
+    instance = rule_cls()
+    if not instance.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if instance.code in _PROGRAM_REGISTRY:
+        raise ValueError(f"duplicate program rule code {instance.code}")
+    _PROGRAM_REGISTRY[instance.code] = instance
+    return rule_cls
+
+
 def all_rules() -> list[Rule]:
-    """Registered rules, sorted by code."""
+    """Registered file rules, sorted by code."""
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
+def all_program_rules() -> list[ProgramRule]:
+    """Registered whole-program rules, sorted by code."""
+    return [_PROGRAM_REGISTRY[code] for code in sorted(_PROGRAM_REGISTRY)]
+
+
 def get_rule(code: str) -> Rule:
-    """Look up one rule by code (raises ``KeyError`` for unknown codes)."""
+    """Look up one file rule by code (raises ``KeyError`` for unknown codes)."""
     return _REGISTRY[code]
 
 
 def rule_codes() -> list[str]:
-    """Sorted list of registered rule codes."""
-    return sorted(_REGISTRY)
+    """Sorted union of file-rule and program-rule codes."""
+    return sorted(set(_REGISTRY) | set(_PROGRAM_REGISTRY))

@@ -1,4 +1,9 @@
-"""Built-in datlint rules — importing this package registers all of them."""
+"""Built-in datlint rules — importing this package registers all of them.
+
+Single-file rules (DAT001-009) register into the file registry; the
+whole-program rules (transitive DAT005, DAT010-012) register into the
+program registry and run after every file is parsed.
+"""
 
 from repro.devtools.datlint.rules import (  # noqa: F401  (import-for-effect)
     dat001_determinism,
@@ -6,10 +11,14 @@ from repro.devtools.datlint.rules import (  # noqa: F401  (import-for-effect)
     dat003_float_eq,
     dat004_print,
     dat005_blocking,
+    dat005_transitive,
     dat006_mutable_defaults,
     dat007_excepts,
     dat008_simclock,
     dat009_rawrpc,
+    dat010_lock_discipline,
+    dat011_lifecycle,
+    dat012_unordered_iter,
 )
 
 __all__ = [
@@ -18,8 +27,12 @@ __all__ = [
     "dat003_float_eq",
     "dat004_print",
     "dat005_blocking",
+    "dat005_transitive",
     "dat006_mutable_defaults",
     "dat007_excepts",
     "dat008_simclock",
     "dat009_rawrpc",
+    "dat010_lock_discipline",
+    "dat011_lifecycle",
+    "dat012_unordered_iter",
 ]

@@ -1,0 +1,58 @@
+"""DAT005 (whole-program) — transitively reaching a blocking call.
+
+The single-file DAT005 rule sees only direct call sites: a handler that
+calls ``helper()`` which calls ``time.sleep()`` slips through. This
+program rule builds the project call graph and propagates blocking
+reachability backwards, flagging every *library* function with a path to
+a blocking primitive and printing the witness chain.
+
+Sanctioned blockers form a barrier: functions in the real-time transport
+modules (the same exemptions as the file rule), functions in output/CLI
+entry-point modules, and direct sites silenced with ``# datlint:
+disable=DAT005`` neither seed the analysis nor propagate through it — a
+caller of ``UdpRpcTransport.close`` is not tainted by the transport's own
+sanctioned socket work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.datlint.callgraph import analyze_blocking, build_call_graph
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.program import ProgramContext
+from repro.devtools.datlint.registry import ProgramRule, register_program
+
+#: Real-time modules that legitimately block (mirrors the file rule).
+_EXEMPT_MODULES = ("repro.sim.udprpc", "repro.gma.live")
+
+
+@register_program
+class TransitiveBlockingRule(ProgramRule):
+    code = "DAT005"
+    name = "no-blocking-transitive"
+    rationale = (
+        "A handler one call away from time.sleep stalls the cooperative "
+        "engine just as surely as a direct call; the call graph closes "
+        "the indirection hole the single-file rule cannot see."
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Diagnostic]:
+        graph = build_call_graph(program)
+
+        def sanctioned(qualname: str) -> bool:
+            fn = program.functions.get(qualname)
+            if fn is None:
+                return False
+            return fn.ctx.module_is(*_EXEMPT_MODULES) or fn.ctx.is_output_module
+
+        analysis = analyze_blocking(graph, barrier=sanctioned)
+        # Direct sites are the file rule's findings; report transitive only.
+        for qualname in sorted(analysis.via):
+            fn = program.functions[qualname]
+            chain = " -> ".join(analysis.chain(qualname))
+            yield self.diagnostic(
+                fn.ctx,
+                fn.node,
+                f"`{qualname}` transitively reaches a blocking call: {chain}",
+            )

@@ -1,0 +1,120 @@
+"""DAT010 — lock discipline for ``threading.Lock``-owning classes.
+
+The telemetry accountants (PR 3) and the real-time transports share
+mutable state across threads: the ``udprpc`` receive thread finishes
+spans and bumps counters while caller threads read them. Every such class
+owns a lock, but nothing enforced that the lock is actually *held* — a
+write that skips ``with self._lock`` compiles, passes tests, and corrupts
+Fig. 7-9 series only under real concurrency.
+
+A class attribute counts as **guarded** when either
+
+* an assignment to it carries an explicit ``# guarded-by: <lock>``
+  comment (the contract convention; annotations win over inference), or
+* any write to it outside ``__init__`` happens under ``with self.<lock>``
+  (inference: locked once means locked always).
+
+The rule then flags
+
+* writes to a guarded attribute outside the guard lock within the owning
+  class (``__init__`` is exempt — the object is not yet shared; methods
+  with a ``_locked`` suffix are exempt — the convention documents that
+  the caller holds the lock), and
+* *any* access to a guarded attribute from outside the owning class
+  hierarchy: external code cannot hold a private lock, so the owning
+  class must offer a snapshot accessor instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.callgraph import TypeEnv
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.program import ProgramContext, attr_chain
+from repro.devtools.datlint.registry import ProgramRule, register_program
+
+
+@register_program
+class LockDisciplineRule(ProgramRule):
+    code = "DAT010"
+    name = "lock-discipline"
+    rationale = (
+        "Lock-owning classes (telemetry accountants, real-time "
+        "transports) share state with the udprpc receive thread; a write "
+        "outside `with self._lock` races silently. Guarded attributes "
+        "(# guarded-by: or written-under-lock inference) must be mutated "
+        "under the lock, and never touched directly from other classes."
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Diagnostic]:
+        yield from self._check_internal_writes(program)
+        yield from self._check_external_access(program)
+
+    # -- writes inside the owning class ---------------------------------- #
+
+    def _check_internal_writes(
+        self, program: ProgramContext
+    ) -> Iterator[Diagnostic]:
+        for info in program.classes.values():
+            if not info.lock_attrs:
+                continue
+            guarded = info.guarded
+            for write in info.attr_writes:
+                lock = guarded.get(write.attr)
+                if lock is None or write.in_init:
+                    continue
+                if lock in write.locks_held:
+                    continue
+                if write.method.endswith("_locked"):
+                    continue  # convention: caller holds the lock
+                yield self.diagnostic(
+                    info.ctx,
+                    write.node,
+                    f"`self.{write.attr}` is guarded by `self.{lock}` but "
+                    f"written outside `with self.{lock}` in "
+                    f"`{info.name}.{write.method}`",
+                )
+
+    # -- access from outside the owning class ----------------------------- #
+
+    def _check_external_access(
+        self, program: ProgramContext
+    ) -> Iterator[Diagnostic]:
+        for fn in program.functions.values():
+            env = TypeEnv(program, fn)
+            own_hierarchy: set[str] = set()
+            if fn.cls is not None:
+                owner = program.classes.get(fn.cls)
+                if owner is not None:
+                    own_hierarchy = {c.qualname for c in program.mro(owner)}
+            reported: set[tuple[int, str]] = set()
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                chain = attr_chain(node)
+                if chain is None or len(chain) < 2:
+                    continue
+                owner_qual = env.type_of_chain(chain[:-1])
+                if owner_qual is None or owner_qual in own_hierarchy:
+                    continue
+                owner_info = program.classes.get(owner_qual)
+                if owner_info is None:
+                    continue
+                attr = chain[-1]
+                lock = owner_info.guarded.get(attr)
+                if lock is None:
+                    continue
+                key = (node.lineno, attr)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield self.diagnostic(
+                    fn.ctx,
+                    node,
+                    f"`{owner_info.name}.{attr}` is guarded by "
+                    f"`{owner_info.name}.{lock}`; access it through a "
+                    f"snapshot accessor, not directly from `{fn.qualname}`",
+                )

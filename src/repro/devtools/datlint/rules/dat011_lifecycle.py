@@ -1,0 +1,53 @@
+"""DAT011 — resource lifecycle: what a class acquires, its teardown frees.
+
+The PR-5 transport-teardown leak motivated this rule: a class held
+transport registrations past ``close()``, so back-to-back runs in one
+process inherited ghost handlers and the Fig. 8 series drifted. The
+lifecycle model (:mod:`repro.devtools.datlint.lifecycle`) records every
+acquisition — ``transport.register(...)``, ``open``/socket/selector
+handles, constructed project services that themselves define teardown,
+upcall registrations into a foreign host — and checks a matching release
+is reachable from the class's own teardown entry points
+(``close``/``shutdown``/``stop``/``__exit__``/...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.lifecycle import analyze_class
+from repro.devtools.datlint.program import ProgramContext
+from repro.devtools.datlint.registry import ProgramRule, register_program
+
+
+@register_program
+class ResourceLifecycleRule(ProgramRule):
+    code = "DAT011"
+    name = "resource-lifecycle"
+    rationale = (
+        "A class that registers with a transport, opens a handle, or "
+        "constructs a closable service must release it from its own "
+        "teardown path; leaked registrations outlive the run and corrupt "
+        "the next one sharing the process (the PR-5 teardown-leak class)."
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Diagnostic]:
+        for info in program.classes.values():
+            lifecycle = analyze_class(program, info)
+            if not lifecycle.acquisitions:
+                continue
+            for leak in lifecycle.leaked():
+                if not lifecycle.has_teardown:
+                    message = (
+                        f"`{info.name}` acquires {leak.detail} in "
+                        f"`{leak.method}` but defines no teardown method "
+                        "(close/shutdown/stop/__exit__)"
+                    )
+                else:
+                    message = (
+                        f"`{info.name}` acquires {leak.detail} in "
+                        f"`{leak.method}` with no matching release "
+                        "reachable from its teardown methods"
+                    )
+                yield self.diagnostic(info.ctx, leak.node, message)

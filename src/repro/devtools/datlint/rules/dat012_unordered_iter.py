@@ -1,0 +1,123 @@
+"""DAT012 — deterministic iteration over set-typed state.
+
+DAT001 pins RNG seeding and DAT008 pins the clock, but neither covers the
+third nondeterminism source: ``set`` iteration order, which varies with
+``PYTHONHASHSEED`` for str/tuple elements. A set-typed attribute iterated
+into a wire message, a merge, or an exported series makes two runs with
+identical seeds diverge — the exact "unseeded nondeterminism" hole the
+reproduction cannot afford.
+
+The rule flags ``for``-loops, comprehensions, and ``list``/``tuple``
+materializations whose iterable resolves to a set-typed attribute
+(``self.x = set()`` / ``x: set[...]`` on any project class, own or
+foreign via the symbol table) unless the iteration is wrapped in
+``sorted(...)`` or feeds an order-insensitive aggregate (``sum``,
+``len``, ``min``, ``max``, ``any``, ``all``, ``set``, ``frozenset``).
+Insertion-ordered ``dict`` keys (the ``dict[T, None]`` idiom) are the
+sanctioned replacement when elements are unsortable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.callgraph import TypeEnv
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.program import ProgramContext, attr_chain
+from repro.devtools.datlint.registry import ProgramRule, register_program
+
+#: Callables whose result does not depend on argument iteration order.
+_ORDER_FREE = {
+    "sorted",
+    "sum",
+    "len",
+    "min",
+    "max",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+}
+
+#: Materializing callables that *preserve* (and thus expose) the order.
+_MATERIALIZERS = {"list", "tuple"}
+
+
+@register_program
+class UnorderedIterationRule(ProgramRule):
+    code = "DAT012"
+    name = "deterministic-iteration"
+    rationale = (
+        "Set iteration order varies with PYTHONHASHSEED; iterating a "
+        "set-typed attribute into messages, merges, or exports makes "
+        "seeded runs diverge. Wrap in sorted() or use the "
+        "insertion-ordered dict[T, None] idiom."
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Diagnostic]:
+        for fn in program.functions.values():
+            env = TypeEnv(program, fn)
+            sanctioned = self._order_free_args(fn.node)
+            for expr in self._iteration_sites(fn.node):
+                if id(expr) in sanctioned:
+                    continue
+                attr = self._set_attr_of(program, env, expr)
+                if attr is None:
+                    continue
+                yield self.diagnostic(
+                    fn.ctx,
+                    expr,
+                    f"iteration over set-typed `{attr}` in `{fn.qualname}` "
+                    "has hash-dependent order; wrap in sorted() or use an "
+                    "insertion-ordered dict",
+                )
+
+    def _order_free_args(self, root: ast.AST) -> set[int]:
+        """ids of expressions consumed by order-insensitive callables."""
+        sanctioned: set[int] = set()
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_FREE
+            ):
+                for arg in node.args:
+                    sanctioned.add(id(arg))
+        return sanctioned
+
+    def _iteration_sites(self, root: ast.AST) -> Iterator[ast.expr]:
+        for node in ast.walk(root):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for generator in node.generators:
+                    yield generator.iter
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MATERIALIZERS
+                and node.args
+            ):
+                yield node.args[0]
+
+    def _set_attr_of(
+        self, program: ProgramContext, env: TypeEnv, expr: ast.expr
+    ) -> str | None:
+        """Dotted name of ``expr`` when it resolves to a set-typed attribute."""
+        chain = attr_chain(expr)
+        if chain is None or len(chain) < 2:
+            return None
+        owner_qual = env.type_of_chain(chain[:-1])
+        if owner_qual is None:
+            return None
+        owner = program.classes.get(owner_qual)
+        if owner is None:
+            return None
+        attr = chain[-1]
+        for cls in program.mro(owner):
+            if attr in cls.set_attrs:
+                return ".".join(chain)
+        return None

@@ -1,4 +1,21 @@
-"""File discovery and rule execution."""
+"""File discovery and rule execution.
+
+Since v2 a lint run has two passes:
+
+1. **file pass** — every discovered file is parsed once into a
+   :class:`~repro.devtools.datlint.context.FileContext` and the
+   single-file rules (DAT001-009) run against it;
+2. **program pass** — the retained contexts build one
+   :class:`~repro.devtools.datlint.program.ProgramContext` and the
+   whole-program rules (transitive DAT005, DAT010-012) run against that.
+
+Both passes route suppression through
+:meth:`~repro.devtools.datlint.context._SuppressionTable.consume`, which
+marks the matching ``# datlint: disable=`` records as *used*; with
+``warn_unused_suppressions=True`` the stale ones come back as ``DAT013``
+diagnostics (only meaningful on full-rule runs — a ``--select`` subset
+would report every suppression of an unselected rule as stale).
+"""
 
 from __future__ import annotations
 
@@ -9,8 +26,18 @@ from typing import Iterable, Sequence
 
 import repro.devtools.datlint.rules  # noqa: F401  (registers the built-ins)
 from repro.devtools.datlint.context import FileContext
-from repro.devtools.datlint.diagnostics import PARSE_ERROR_CODE, Diagnostic
-from repro.devtools.datlint.registry import Rule, all_rules
+from repro.devtools.datlint.diagnostics import (
+    PARSE_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    Diagnostic,
+)
+from repro.devtools.datlint.program import build_program
+from repro.devtools.datlint.registry import (
+    ProgramRule,
+    Rule,
+    all_program_rules,
+    all_rules,
+)
 
 __all__ = ["discover_files", "lint_file", "lint_paths", "LintReport"]
 
@@ -45,32 +72,40 @@ class LintReport:
         return 1 if self.diagnostics else 0
 
 
-def lint_file(
-    path: Path, rules: Sequence[Rule] | None = None
-) -> tuple[list[Diagnostic], int]:
-    """Lint one file; returns (surviving diagnostics, suppressed count).
+def _parse(path: Path) -> FileContext | Diagnostic:
+    """Parse one file into a context, or a ``DAT000`` diagnostic.
 
-    An unreadable or unparsable file yields a single ``DAT000`` diagnostic
-    (suppressible only by fixing the file — parse errors ignore the
-    suppression table, which cannot be trusted for a broken file).
+    Parse errors ignore the suppression table, which cannot be trusted
+    for a broken file.
     """
     try:
         source = path.read_text(encoding="utf-8")
         tree = ast.parse(source, filename=str(path))
     except (OSError, SyntaxError, ValueError) as exc:
-        return (
-            [
-                Diagnostic(
-                    path=str(path),
-                    line=getattr(exc, "lineno", None) or 1,
-                    col=getattr(exc, "offset", None) or 0,
-                    rule=PARSE_ERROR_CODE,
-                    message=f"could not analyze file: {exc}",
-                )
-            ],
-            0,
+        return Diagnostic(
+            path=str(path),
+            line=getattr(exc, "lineno", None) or 1,
+            col=getattr(exc, "offset", None) or 0,
+            rule=PARSE_ERROR_CODE,
+            message=f"could not analyze file: {exc}",
         )
-    ctx = FileContext(path, source, tree)
+    return FileContext(path, source, tree)
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule] | None = None
+) -> tuple[list[Diagnostic], int]:
+    """Lint one file with the single-file rules.
+
+    Returns (surviving diagnostics, suppressed count). Whole-program rules
+    need every file at once and therefore only run under
+    :func:`lint_paths`. An unreadable or unparsable file yields a single
+    ``DAT000`` diagnostic.
+    """
+    parsed = _parse(path)
+    if isinstance(parsed, Diagnostic):
+        return [parsed], 0
+    ctx = parsed
     surviving: list[Diagnostic] = []
     suppressed = 0
     for rule in rules if rules is not None else all_rules():
@@ -83,14 +118,67 @@ def lint_file(
 
 
 def lint_paths(
-    paths: Iterable[Path], rules: Sequence[Rule] | None = None
+    paths: Iterable[Path],
+    rules: Sequence[Rule] | None = None,
+    program_rules: Sequence[ProgramRule] | None = None,
+    *,
+    warn_unused_suppressions: bool = False,
 ) -> LintReport:
-    """Lint every python file under ``paths`` with ``rules`` (default: all)."""
+    """Lint every python file under ``paths``.
+
+    ``rules=None`` means all registered file rules. ``program_rules=None``
+    means all registered program rules *when* ``rules`` is also ``None``
+    (a caller selecting specific file rules gets exactly those); pass a
+    sequence — possibly empty — to control the program pass explicitly.
+    """
+    if program_rules is None:
+        program_rules = all_program_rules() if rules is None else []
     report = LintReport()
+    contexts: list[FileContext] = []
+    by_path: dict[str, FileContext] = {}
     for path in discover_files(paths):
-        diagnostics, suppressed = lint_file(path, rules=rules)
-        report.diagnostics.extend(diagnostics)
-        report.suppressed += suppressed
         report.files_checked += 1
+        parsed = _parse(path)
+        if isinstance(parsed, Diagnostic):
+            report.diagnostics.append(parsed)
+            continue
+        ctx = parsed
+        contexts.append(ctx)
+        by_path[str(ctx.path)] = ctx
+        for rule in rules if rules is not None else all_rules():
+            for diagnostic in rule.check(ctx):
+                if ctx.suppressions.consume(diagnostic.rule, diagnostic.line):
+                    report.suppressed += 1
+                else:
+                    report.diagnostics.append(diagnostic)
+    if program_rules:
+        program = build_program(contexts)
+        for program_rule in program_rules:
+            for diagnostic in program_rule.check_program(program):
+                ctx = by_path.get(diagnostic.path)
+                if ctx is not None and ctx.suppressions.consume(
+                    diagnostic.rule, diagnostic.line
+                ):
+                    report.suppressed += 1
+                else:
+                    report.diagnostics.append(diagnostic)
+    if warn_unused_suppressions:
+        for ctx in contexts:
+            for record in ctx.suppressions.unused_records():
+                codes = ",".join(sorted(record.codes))
+                scope = "file-level" if record.standalone else "line"
+                report.diagnostics.append(
+                    Diagnostic(
+                        path=str(ctx.path),
+                        line=record.line,
+                        col=0,
+                        rule=UNUSED_SUPPRESSION_CODE,
+                        message=(
+                            f"stale {scope} suppression "
+                            f"`# datlint: disable={codes}` — it no longer "
+                            "silences anything; delete it"
+                        ),
+                    )
+                )
     report.diagnostics.sort()
     return report

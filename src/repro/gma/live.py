@@ -111,6 +111,7 @@ class LiveGridMonitor:
         self.producers: dict[int, Producer] = {}
         self.maan: dict[int, MaanNodeService] = {}
         self.dat: dict[int, DatNodeService] = {}
+        self.broadcasts: dict[int, BroadcastService] = {}
         self.collectors: dict[int, GatherCollector] = {}
         for ident, node in self.network.nodes.items():
             self.maan[ident] = MaanNodeService(
@@ -127,6 +128,7 @@ class LiveGridMonitor:
             )
             self.dat[ident] = dat
             broadcast = BroadcastService(node, finger_provider=node.finger_table)
+            self.broadcasts[ident] = broadcast
             self.collectors[ident] = GatherCollector(dat, broadcast)
 
         self._clock = 0.0  # monitoring time fed to sensors
@@ -151,10 +153,17 @@ class LiveGridMonitor:
         for collector in self.collectors.values():
             collector.close()
         self.collectors.clear()
+        # Broadcast services were missing from this chain: their `bcast`
+        # upcall registrations outlived the monitor.
+        for broadcast in self.broadcasts.values():
+            broadcast.close()
+        self.broadcasts.clear()
         for service in self.dat.values():
             service.close()
+        self.dat.clear()
         for maan in self.maan.values():
             maan.close()
+        self.maan.clear()
         stats: dict[str, int] = {}
         if self.live_export is not None:
             stats = self.live_export.close()

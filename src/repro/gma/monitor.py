@@ -153,7 +153,7 @@ class GridMonitor:
         return self.dat_builder.build(self.rendezvous_key(attribute))
 
     def aggregate(
-        self, attribute: str, aggregate: str = "avg", t: float = 0.0, **agg_kwargs
+        self, attribute: str, aggregate: str = "avg", t: float = 0.0, **agg_kwargs: Any
     ) -> AggregateOutcome:
         """One synchronous aggregation round over the attribute's DAT.
 
@@ -196,7 +196,7 @@ class GridMonitor:
             return outcome
 
     def actual_aggregate(
-        self, attribute: str, aggregate: str = "avg", t: float = 0.0, **agg_kwargs
+        self, attribute: str, aggregate: str = "avg", t: float = 0.0, **agg_kwargs: Any
     ) -> Any:
         """Ground truth: the aggregate computed directly over all readings."""
         self.require_full_coverage()

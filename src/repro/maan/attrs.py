@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.chord.hashing import LocalityPreservingHash, sha1_id
 from repro.chord.idspace import IdSpace
@@ -60,7 +60,7 @@ class AttributeSchema:
                     f"got [{self.low}, {self.high}]"
                 )
 
-    def hasher(self, space: IdSpace):
+    def hasher(self, space: IdSpace) -> Callable[[Any], int]:
         """The value-to-identifier hash for this attribute.
 
         Numeric attributes get the locality-preserving hash (so ranges are

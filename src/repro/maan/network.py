@@ -9,7 +9,7 @@ empirically (``benchmarks/bench_maan_routing.py``).
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro import telemetry
 from repro.chord.fingers import FingerTable
@@ -68,7 +68,7 @@ class MaanNetwork:
         except KeyError:
             raise SchemaError(f"undeclared attribute {attribute!r}") from None
 
-    def node_for_value(self, attribute: str, value) -> int:
+    def node_for_value(self, attribute: str, value: Any) -> int:
         """The node responsible for ``(attribute, value)``."""
         schema = self._schema(attribute)
         normalized = schema.validate_value(value)

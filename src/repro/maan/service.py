@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro import telemetry
+from repro.chord.host import ChordHost
 from repro.errors import QueryError, SchemaError
 from repro.maan.attrs import AttributeKind, AttributeSchema, Resource
 from repro.maan.query import MultiAttributeQuery, QueryResult, RangeQuery
@@ -59,7 +60,7 @@ class MaanNodeService:
 
     def __init__(
         self,
-        host,
+        host: ChordHost,
         schemas: dict[str, AttributeSchema],
         lookup_fn: Callable[..., None] | None = None,
         successor_provider: Callable[[], int] | None = None,

@@ -12,9 +12,11 @@ deployment and reports staleness metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.maan.attrs import Resource
 from repro.maan.network import MaanNetwork
+from repro.maan.store import ResourceStore
 from repro.util.validation import check_positive
 
 __all__ = ["SoftStateStore", "SoftStateRegistry", "StalenessReport"]
@@ -28,12 +30,12 @@ class SoftStateStore:
     sweeps expired entries.
     """
 
-    def __init__(self, store) -> None:
+    def __init__(self, store: ResourceStore) -> None:
         self.store = store
         self._deadlines: dict[tuple[str, str], float] = {}
 
     def put(
-        self, attribute: str, value, resource: Resource, now: float, ttl: float
+        self, attribute: str, value: Any, resource: Resource, now: float, ttl: float
     ) -> None:
         """Store a record that expires at ``now + ttl``."""
         check_positive("ttl", ttl)

@@ -126,7 +126,7 @@ class MessageTracer:
     def __enter__(self) -> "MessageTracer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.detach()
 
     # ------------------------------------------------------------------ #

@@ -54,8 +54,10 @@ class UdpRpcTransport(Transport):
         self._routes: dict[int, tuple[str, int]] = {}
         self._selector = selectors.DefaultSelector()
         self._lock = threading.RLock()
-        self._timers: set[threading.Timer] = set()
-        self._closed = False
+        # Insertion-ordered on purpose: timers are iterated during close()
+        # and pruning, and set order would be hash-dependent (DAT012).
+        self._timers: dict[threading.Timer, None] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         # A wakeup socket lets register() update the selector while the
         # receive loop is blocked in select().
         self._wake_recv = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -88,14 +90,15 @@ class UdpRpcTransport(Transport):
     def __enter__(self) -> "UdpRpcTransport":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def close(self) -> None:
         """Stop the receive loop, cancel timers, and close all sockets."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._wakeup()
         self._thread.join(timeout=2.0)
         with self._lock:
@@ -129,9 +132,11 @@ class UdpRpcTransport(Transport):
     # ------------------------------------------------------------------ #
 
     def register(self, node: int, handler: MessageHandler) -> None:
-        if self._closed:
-            raise TransportError("transport is closed")
         with self._lock:
+            # Checked under the lock: a concurrent close() between an
+            # unlocked check and the registration would leak the socket.
+            if self._closed:
+                raise TransportError("transport is closed")
             super().register(node, handler)
             sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
             sock.bind((self.bind_host, 0))
@@ -209,19 +214,19 @@ class UdpRpcTransport(Transport):
         with self._lock:
             if self._closed:
                 return lambda: None
-            self._timers.add(timer)
+            self._timers[timer] = None
         timer.start()
 
         def cancel() -> None:
             timer.cancel()
             with self._lock:
-                self._timers.discard(timer)
+                self._timers.pop(timer, None)
 
         return cancel
 
     def _run_timer(self, callback: Callable[[], None]) -> None:
         with self._lock:
-            self._timers = {t for t in self._timers if t.is_alive()}
+            self._timers = {t: None for t in self._timers if t.is_alive()}
         if not self._closed:
             callback()
 

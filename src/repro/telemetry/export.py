@@ -136,10 +136,11 @@ def span_drops_record(
     the stream's sampling knob skipped — spans an export is missing are
     always reported, never silent.
     """
+    evicted, streamed = spans.drop_stats()
     return {
         "type": "span_drops",
-        "evicted": spans.dropped,
-        "streamed": spans.streamed,
+        "evicted": evicted,
+        "streamed": streamed,
         "sampled_out": sampled_out,
         "sampled_out_by_name": dict(sorted((sampled_out_by_name or {}).items())),
     }
@@ -175,7 +176,7 @@ def jsonl_lines(tel: "Telemetry") -> Iterator[str]:
     yield encode_record(config_record(tel))
     for sample in tel.metrics.samples():
         yield encode_record(metric_record(sample))
-    for span in list(tel.spans.finished):
+    for span in tel.spans.finished_snapshot():
         yield encode_record(span_record(span))
     yield encode_record(span_drops_record(tel.spans))
     for name in tel.hotspot_names():

@@ -231,6 +231,21 @@ class SpanRecorder:
                 del self.finished[:overflow]
                 self.dropped += overflow
 
+    def finished_snapshot(self) -> list[Span]:
+        """Copy of the retained finished spans, taken under the lock.
+
+        The exporters' accessor: the udprpc receive thread appends to
+        :attr:`finished` concurrently, so consumers outside this class
+        must never iterate the live list.
+        """
+        with self._lock:
+            return list(self.finished)
+
+    def drop_stats(self) -> tuple[int, int]:
+        """``(evicted, streamed)`` counters, read consistently under the lock."""
+        with self._lock:
+            return self.dropped, self.streamed
+
     def by_name(self, name: str) -> list[Span]:
         """Finished spans with the given name, in finish order."""
         with self._lock:

@@ -130,6 +130,16 @@ class JsonlSpanStream:
         with self._lock:
             self._flush_locked()
 
+    def sampling_snapshot(self) -> tuple[int, dict[str, int]]:
+        """``(sampled_out, sampled_out_by_name)`` read under the lock."""
+        with self._lock:
+            return self.sampled_out, dict(self.sampled_out_by_name)
+
+    def lines_written(self) -> int:
+        """Total lines accepted so far (spans and records), under the lock."""
+        with self._lock:
+            return self.total_lines
+
     @property
     def buffered(self) -> int:
         """Lines currently waiting for the next chunk flush."""
@@ -183,20 +193,21 @@ class TelemetryStream:
         # Spans that finished before the sink attached (or while a foreign
         # sink declined them) sit in the recorder; export them too so the
         # streamed file is a superset of what retention would have kept.
-        for span in list(tel.spans.finished):
+        for span in tel.spans.finished_snapshot():
             self.stream.write_record(span_record(span))
+        sampled_out, sampled_out_by_name = self.stream.sampling_snapshot()
         self.stream.write_record(
             span_drops_record(
                 tel.spans,
-                sampled_out=self.stream.sampled_out,
-                sampled_out_by_name=self.stream.sampled_out_by_name,
+                sampled_out=sampled_out,
+                sampled_out_by_name=sampled_out_by_name,
             )
         )
         for name in tel.hotspot_names():
             for record in hotspot_records(name, tel.hotspots(name)):
                 self.stream.write_record(record)
         self.stream.flush()
-        self.lines = self.stream.total_lines
+        self.lines = self.stream.lines_written()
         return self.lines
 
     def __enter__(self) -> "TelemetryStream":

@@ -92,3 +92,24 @@ class TestLiveTelemetry:
             (agg_span,) = tel.spans.by_name("gma.live.aggregate")
             assert agg_span.attrs["attribute"] == "cpu-usage"
             assert agg_span.attrs["waves"] >= 1
+
+
+class TestLiveTeardown:
+    def test_close_detaches_every_layer(self):
+        # Regression (DAT011): broadcast services were constructed as
+        # locals and never closed — their `bcast` upcall registrations
+        # outlived the monitor, so a second monitor built on the same
+        # process inherited ghost broadcast handlers.
+        config = MonitorConfig(n_nodes=4, bits=12, id_strategy="probing", seed=7)
+        monitor = LiveGridMonitor(config, default_schemas())
+        hosts = dict(monitor.network.nodes)
+        assert monitor.broadcasts  # one service per node while live
+        monitor.close()
+        assert not monitor.broadcasts
+        assert not monitor.collectors
+        assert not monitor.dat
+        assert not monitor.maan
+        for host in hosts.values():
+            for kind in ("bcast", "gather_push", "agg_push", "agg_collect"):
+                assert kind not in host.upcalls, kind
+        monitor.close()  # idempotent

@@ -104,6 +104,26 @@ class TestBroadcastService:
         transport.run(until=5.0)
         assert transport.stats.by_kind().get("bcast", 0) == 15
 
+    def test_close_releases_upcall_registration(self):
+        # Regression (DAT011): the service had no close(), so a departed
+        # host kept handling `bcast` messages for as long as it lived.
+        ring, transport, services = self.build(4)
+        node = ring.nodes[0]
+        service = services[node]
+        host = service.host
+        assert host.upcalls["bcast"] == service._on_broadcast
+        service.close()
+        assert "bcast" not in host.upcalls
+        service.close()  # idempotent
+
+    def test_close_leaves_foreign_handler_alone(self):
+        ring, transport, services = self.build(4)
+        service = services[ring.nodes[0]]
+        replacement = lambda message: None  # noqa: E731
+        service.host.upcalls["bcast"] = replacement
+        service.close()
+        assert service.host.upcalls["bcast"] is replacement
+
     def test_two_broadcasts_independent(self):
         ring, transport, services = self.build(8)
         a = services[ring.nodes[0]].broadcast("a")

@@ -9,7 +9,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.devtools.datlint import all_rules, lint_file, lint_paths
+from repro.devtools.datlint import all_program_rules, all_rules, lint_file, lint_paths
 from repro.devtools.datlint.cli import main
 from repro.devtools.datlint.context import module_name_for
 from repro.devtools.datlint.diagnostics import PARSE_ERROR_CODE
@@ -33,7 +33,7 @@ def codes(diagnostics) -> set[str]:
 # --------------------------------------------------------------------- #
 
 
-def test_all_nine_rules_registered():
+def test_all_rules_registered():
     assert [r.code for r in all_rules()] == [
         "DAT001",
         "DAT002",
@@ -45,7 +45,13 @@ def test_all_nine_rules_registered():
         "DAT008",
         "DAT009",
     ]
-    for rule in all_rules():
+    assert [r.code for r in all_program_rules()] == [
+        "DAT005",
+        "DAT010",
+        "DAT011",
+        "DAT012",
+    ]
+    for rule in list(all_rules()) + list(all_program_rules()):
         assert rule.name and rule.rationale
 
 

@@ -1,0 +1,485 @@
+"""Unit tests for datlint's whole-program analysis (v2).
+
+Covers the ``ProgramContext`` symbol table, the call graph, the
+whole-program rules DAT010–DAT012 and transitive DAT005, suppression
+interaction, and JSON output. The per-file rules are covered in
+``test_datlint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.devtools.datlint import build_program, lint_paths
+from repro.devtools.datlint.callgraph import analyze_blocking, build_call_graph
+from repro.devtools.datlint.cli import main
+from repro.devtools.datlint.context import FileContext
+
+
+def write_files(tmp_path: Path, files: dict[str, str]) -> Path:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+def build(tmp_path: Path, files: dict[str, str]):
+    contexts = []
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        contexts.append(
+            FileContext(target, source, ast.parse(source, filename=str(target)))
+        )
+    return build_program(contexts)
+
+
+def lint(tmp_path: Path, files: dict[str, str], **kwargs):
+    return lint_paths([write_files(tmp_path, files)], **kwargs)
+
+
+def codes(diagnostics) -> set[str]:
+    return {d.rule for d in diagnostics}
+
+
+# --------------------------------------------------------------------- #
+# Symbol table
+# --------------------------------------------------------------------- #
+
+
+def test_symbol_table_indexes_classes_and_functions(tmp_path):
+    program = build(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "import threading\n"
+                "from repro.b import Helper\n"
+                "\n"
+                "class Engine:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.helper = Helper()\n"
+                "        self.members: set[int] = set()\n"
+                "\n"
+                "    def run(self) -> None:\n"
+                "        pass\n"
+                "\n"
+                "def top() -> None:\n"
+                "    pass\n"
+            ),
+            "repro/b.py": ("class Helper:\n    def ping(self) -> None:\n        pass\n"),
+        },
+    )
+    assert "repro.a.Engine" in program.classes
+    assert "repro.b.Helper" in program.classes
+    assert "repro.a.top" in program.functions
+    assert "repro.a.Engine.run" in program.functions
+
+    engine = program.classes["repro.a.Engine"]
+    assert "_lock" in engine.lock_attrs
+    assert "members" in engine.set_attrs
+    # Cross-module attribute type resolution through the constructor.
+    assert program.resolve_class(engine.ctx.module, engine.attr_types["helper"]) is (
+        program.classes["repro.b.Helper"]
+    )
+
+
+def test_inferred_guards_from_locked_writes(tmp_path):
+    program = build(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "import threading\n"
+                "\n"
+                "class Counter:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.count = 0\n"
+                "\n"
+                "    def bump(self) -> None:\n"
+                "        with self._lock:\n"
+                "            self.count = self.count + 1\n"
+            ),
+        },
+    )
+    counter = program.classes["repro.a.Counter"]
+    assert "count" in counter.guarded
+
+
+# --------------------------------------------------------------------- #
+# Call graph
+# --------------------------------------------------------------------- #
+
+
+def test_call_graph_resolves_self_and_imported_calls(tmp_path):
+    program = build(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "from repro.b import helper\n"
+                "\n"
+                "class Engine:\n"
+                "    def run(self) -> None:\n"
+                "        self._step()\n"
+                "\n"
+                "    def _step(self) -> None:\n"
+                "        helper()\n"
+            ),
+            "repro/b.py": "def helper() -> None:\n    pass\n",
+        },
+    )
+    graph = build_call_graph(program)
+    assert "repro.a.Engine._step" in graph.callees("repro.a.Engine.run")
+    assert "repro.b.helper" in graph.callees("repro.a.Engine._step")
+
+
+def test_blocking_analysis_propagates_with_witness_chain(tmp_path):
+    program = build(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "import time\n"
+                "\n"
+                "def slow() -> None:\n"
+                "    time.sleep(1)\n"
+                "\n"
+                "def outer() -> None:\n"
+                "    slow()\n"
+            ),
+        },
+    )
+    graph = build_call_graph(program)
+    analysis = analyze_blocking(graph, barrier=lambda qualname: False)
+    assert "repro.a.slow" in analysis.direct
+    assert analysis.is_blocking("repro.a.outer")
+    chain = analysis.chain("repro.a.outer")
+    assert chain[0] == "repro.a.outer"
+    assert "repro.a.slow" in chain
+
+
+# --------------------------------------------------------------------- #
+# Transitive DAT005
+# --------------------------------------------------------------------- #
+
+
+def test_dat005_transitive_flags_indirect_blocking(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/mod.py": (
+                "import time\n"
+                "\n"
+                "def slow() -> None:\n"
+                "    time.sleep(1)\n"
+                "\n"
+                "def outer() -> None:\n"
+                "    slow()\n"
+            ),
+        },
+    )
+    dat005 = [d for d in report.diagnostics if d.rule == "DAT005"]
+    # The direct site (file rule) plus the transitive caller (program rule).
+    assert len(dat005) == 2
+    transitive = [d for d in dat005 if "->" in d.message]
+    assert len(transitive) == 1
+    assert "repro.mod.slow" in transitive[0].message
+
+
+def test_dat005_sanctioned_modules_are_barriers(tmp_path):
+    # udprpc may block; its callers must NOT inherit the finding.
+    report = lint(
+        tmp_path,
+        {
+            "repro/sim/udprpc.py": (
+                "import time\n"
+                "\n"
+                "def pump() -> None:\n"
+                "    time.sleep(0.1)\n"
+            ),
+            "repro/mod.py": (
+                "from repro.sim.udprpc import pump\n"
+                "\n"
+                "def caller() -> None:\n"
+                "    pump()\n"
+            ),
+        },
+    )
+    assert "DAT005" not in codes(report.diagnostics)
+
+
+# --------------------------------------------------------------------- #
+# DAT010 lock discipline
+# --------------------------------------------------------------------- #
+
+LOCKED_CLASS = (
+    "import threading\n"
+    "\n"
+    "class Counter:\n"
+    "    def __init__(self) -> None:\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.count = 0\n"
+    "\n"
+    "    def bump(self) -> None:\n"
+    "        with self._lock:\n"
+    "            self.count = self.count + 1\n"
+)
+
+
+def test_dat010_flags_unguarded_write(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": LOCKED_CLASS
+            + ("\n    def reset(self) -> None:\n        self.count = 0\n"),
+        },
+    )
+    (finding,) = [d for d in report.diagnostics if d.rule == "DAT010"]
+    assert "count" in finding.message
+
+
+def test_dat010_exempts_init_and_locked_suffix(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": LOCKED_CLASS
+            + ("\n    def _reset_locked(self) -> None:\n        self.count = 0\n"),
+        },
+    )
+    assert "DAT010" not in codes(report.diagnostics)
+
+
+def test_dat010_flags_external_read_of_annotated_guard(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "import threading\n"
+                "\n"
+                "class Owner:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.count = 0  # guarded-by: _lock\n"
+                "\n"
+                "class Reader:\n"
+                "    def peek(self, owner: Owner) -> int:\n"
+                "        return owner.count\n"
+            ),
+        },
+    )
+    (finding,) = [d for d in report.diagnostics if d.rule == "DAT010"]
+    assert "snapshot" in finding.message
+
+
+def test_dat010_clean_class_without_lock(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "class Plain:\n"
+                "    def __init__(self) -> None:\n"
+                "        self.count = 0\n"
+                "\n"
+                "    def bump(self) -> None:\n"
+                "        self.count = self.count + 1\n"
+            ),
+        },
+    )
+    assert "DAT010" not in codes(report.diagnostics)
+
+
+# --------------------------------------------------------------------- #
+# DAT011 resource lifecycle
+# --------------------------------------------------------------------- #
+
+
+def test_dat011_flags_handle_without_teardown(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "class Holder:\n"
+                "    def __init__(self, path: str) -> None:\n"
+                "        self._fh = open(path)\n"
+            ),
+        },
+    )
+    (finding,) = [d for d in report.diagnostics if d.rule == "DAT011"]
+    assert "open(...)" in finding.message
+    assert "no teardown" in finding.message
+
+
+def test_dat011_clean_when_close_releases(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "class Holder:\n"
+                "    def __init__(self, path: str) -> None:\n"
+                "        self._fh = open(path)\n"
+                "\n"
+                "    def close(self) -> None:\n"
+                "        self._fh.close()\n"
+            ),
+        },
+    )
+    assert "DAT011" not in codes(report.diagnostics)
+
+
+def test_dat011_release_reachable_through_self_call(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "class Holder:\n"
+                "    def __init__(self, path: str) -> None:\n"
+                "        self._fh = open(path)\n"
+                "\n"
+                "    def close(self) -> None:\n"
+                "        self._teardown()\n"
+                "\n"
+                "    def _teardown(self) -> None:\n"
+                "        self._fh.close()\n"
+            ),
+        },
+    )
+    assert "DAT011" not in codes(report.diagnostics)
+
+
+def test_dat011_flags_unreleased_foreign_upcall(tmp_path):
+    source_leak = (
+        "class Service:\n"
+        "    def __init__(self, host) -> None:\n"
+        "        self.host = host\n"
+        '        host.upcalls["bcast"] = self._on_bcast\n'
+        "\n"
+        "    def _on_bcast(self, message) -> None:\n"
+        "        pass\n"
+    )
+    report = lint(tmp_path, {"repro/a.py": source_leak})
+    (finding,) = [d for d in report.diagnostics if d.rule == "DAT011"]
+    assert "upcall registration" in finding.message
+
+    source_clean = source_leak + (
+        "\n"
+        "    def close(self) -> None:\n"
+        '        self.host.upcalls.pop("bcast", None)\n'
+    )
+    report = lint(tmp_path / "clean", {"repro/a.py": source_clean})
+    assert "DAT011" not in codes(report.diagnostics)
+
+
+# --------------------------------------------------------------------- #
+# DAT012 deterministic iteration
+# --------------------------------------------------------------------- #
+
+SET_CLASS = (
+    "class Roster:\n"
+    "    def __init__(self) -> None:\n"
+    "        self.members: set[int] = set()\n"
+)
+
+
+def test_dat012_flags_iteration_over_set_attr(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": SET_CLASS
+            + (
+                "\n"
+                "    def notify(self) -> None:\n"
+                "        for member in self.members:\n"
+                "            print(member)  # datlint: disable=DAT004\n"
+            ),
+        },
+    )
+    (finding,) = [d for d in report.diagnostics if d.rule == "DAT012"]
+    assert "members" in finding.message
+
+
+def test_dat012_clean_when_sorted_or_order_free(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/a.py": SET_CLASS
+            + (
+                "\n"
+                "    def ordered(self) -> list[int]:\n"
+                "        return sorted(self.members)\n"
+                "\n"
+                "    def size(self) -> int:\n"
+                "        return len(self.members)\n"
+            ),
+        },
+    )
+    assert "DAT012" not in codes(report.diagnostics)
+
+
+# --------------------------------------------------------------------- #
+# Suppression interaction + JSON output
+# --------------------------------------------------------------------- #
+
+DAT012_VIOLATION = SET_CLASS + (
+    "\n"
+    "    def snapshot(self) -> list[int]:\n"
+    "        return [m for m in self.members]\n"
+)
+
+
+def test_program_findings_respect_line_suppressions(tmp_path):
+    suppressed = DAT012_VIOLATION.replace(
+        "return [m for m in self.members]",
+        "return [m for m in self.members]  # datlint: disable=DAT012",
+    )
+    report = lint(tmp_path, {"repro/a.py": suppressed})
+    assert "DAT012" not in codes(report.diagnostics)
+    assert report.suppressed == 1
+
+
+def test_unused_suppressions_reported_as_dat013(tmp_path):
+    report = lint(
+        tmp_path,
+        {"repro/a.py": "VALUE = 1  # datlint: disable=DAT012\n"},
+        warn_unused_suppressions=True,
+    )
+    (finding,) = report.diagnostics
+    assert finding.rule == "DAT013"
+    assert "stale" in finding.message
+
+
+def test_used_suppressions_not_reported_as_stale(tmp_path):
+    suppressed = DAT012_VIOLATION.replace(
+        "return [m for m in self.members]",
+        "return [m for m in self.members]  # datlint: disable=DAT012",
+    )
+    report = lint(
+        tmp_path, {"repro/a.py": suppressed}, warn_unused_suppressions=True
+    )
+    assert not report.diagnostics
+
+
+def test_cli_json_output_includes_program_findings(tmp_path, capsys):
+    write_files(tmp_path, {"repro/a.py": DAT012_VIOLATION})
+    assert main([str(tmp_path), "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    (finding,) = payload["diagnostics"]
+    assert finding["rule"] == "DAT012"
+    assert finding["path"].endswith("a.py")
+    assert set(finding) == {"path", "line", "col", "rule", "message"}
+
+
+def test_cli_select_filters_program_rules(tmp_path):
+    write_files(tmp_path, {"repro/a.py": DAT012_VIOLATION})
+    assert main([str(tmp_path), "--select=DAT010"]) == 0
+    assert main([str(tmp_path), "--select=DAT012"]) == 1
+
+
+def test_cli_list_rules_tags_whole_program(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DAT010", "DAT011", "DAT012"):
+        assert code in out
+    assert "[whole-program]" in out

@@ -121,6 +121,19 @@ class TestFofMaintainer:
         maintainer.stop()
         # No crash; periodic refresh ran and stopped.
 
+    def test_close_stops_and_releases_upcall(self, fof_overlay):
+        # Regression (DAT011): stop() cancelled the timer but the
+        # `get_fingers` upcall registration survived the maintainer.
+        network, maintainers = fof_overlay
+        ident, maintainer = next(iter(maintainers.items()))
+        node = network.nodes[ident]
+        assert node.upcalls["get_fingers"] == maintainer._on_get_fingers
+        maintainer.start()
+        maintainer.close()
+        assert not maintainer._running
+        assert "get_fingers" not in node.upcalls
+        maintainer.close()  # idempotent
+
     def test_dead_finger_forgotten(self, fof_overlay):
         network, maintainers = fof_overlay
         victim = list(network.nodes)[3]

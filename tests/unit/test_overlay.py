@@ -38,6 +38,30 @@ class TestMembership:
         assert victim not in overlay.services
         assert len(overlay) == 3
 
+    def test_remove_node_fully_detaches_service(self):
+        # Regression (DAT011): remove_node only stopped continuous pushes;
+        # the departed node's host kept the service's upcall registrations
+        # and batcher.
+        overlay = make_overlay(4)
+        victim = next(iter(overlay.network.nodes))
+        host = overlay.network.nodes[victim]
+        assert "agg_push" in host.upcalls
+        overlay.remove_node(victim)
+        for kind in ("agg_push", "agg_collect", "net_batch"):
+            assert kind not in host.upcalls
+
+    def test_close_tears_down_every_service(self):
+        # Regression (DAT011): close() finalized telemetry but left every
+        # DatNodeService registered on its host.
+        overlay = make_overlay(4)
+        hosts = dict(overlay.network.nodes)
+        overlay.close()
+        assert not overlay.services
+        for host in hosts.values():
+            for kind in ("agg_push", "agg_collect", "net_batch"):
+                assert kind not in host.upcalls
+        overlay.close()  # idempotent
+
     def test_enroll_requires_membership(self):
         overlay = make_overlay(4)
         with pytest.raises(RingError):

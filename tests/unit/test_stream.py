@@ -148,6 +148,32 @@ class TestTelemetryStream:
             pass
         assert len(tel.spans.finished) == 1
 
+    def test_close_reads_shared_state_through_snapshots(self):
+        # Regression (DAT010): close() used to read the recorder's
+        # `finished` list and the stream's sampling counters directly —
+        # fields the udprpc receive thread mutates under their locks. The
+        # snapshot accessors return consistent copies.
+        tel = _tel()
+        with tel.span("early"):
+            pass
+        snapshot = tel.spans.finished_snapshot()
+        assert [span.name for span in snapshot] == ["early"]
+        snapshot.clear()  # a copy: must not affect the recorder
+        assert len(tel.spans.finished) == 1
+        assert tel.spans.drop_stats() == (0, 0)
+        out = io.StringIO()
+        stream = TelemetryStream(tel, out, sample_every=2)
+        for _ in range(4):
+            with tel.span("late"):
+                pass
+        sampled_out, by_name = stream.stream.sampling_snapshot()
+        assert sampled_out == 2
+        assert by_name == {"late": 2}
+        by_name["late"] = 99  # a copy: must not affect the stream
+        assert stream.stream.sampling_snapshot()[1] == {"late": 2}
+        lines = stream.close()
+        assert lines == stream.stream.lines_written()
+
     def test_drop_accounting_combines_eviction_and_sampling(self):
         tel = _tel(max_spans=2)
         # Finish spans before any stream attaches: recorder retention evicts.

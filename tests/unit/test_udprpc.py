@@ -247,6 +247,32 @@ class TestRouting:
 
 
 class TestLifecycle:
+    def test_timers_are_insertion_ordered(self):
+        # Regression (DAT012): timers were kept in a set, making the
+        # cancel-on-close iteration order hash-dependent; the dict
+        # replacement preserves scheduling order.
+        with UdpRpcTransport() as transport:
+            cancels = [
+                transport.schedule(30.0 + i, lambda: None) for i in range(8)
+            ]
+            with transport._lock:
+                delays = [t.interval for t in transport._timers]
+            assert delays == sorted(delays)
+            for cancel in cancels:
+                cancel()
+            with transport._lock:
+                assert not transport._timers
+
+    def test_schedule_after_close_is_noop(self):
+        # Regression (DAT010): _closed is written and checked under the
+        # lock, so a timer scheduled against a closed transport must not
+        # be retained (it would be a leak close() can no longer cancel).
+        transport = UdpRpcTransport()
+        transport.close()
+        cancel = transport.schedule(30.0, lambda: None)
+        cancel()
+        assert not transport._timers
+
     def test_close_idempotent(self):
         transport = UdpRpcTransport()
         transport.register(1, lambda m: None)
