@@ -11,12 +11,15 @@ from repro.experiments.fig7_tree_properties import run_fig7_tree_properties
 from repro.experiments.report import format_table
 
 SIZES = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+#: Appended with ``--large``: array-native pipeline keeps this affordable.
+LARGE_SIZES = [65536]
 
 
-def test_fig7a_max_branching(benchmark, emit):
+def test_fig7a_max_branching(benchmark, emit, large):
+    sizes = SIZES + LARGE_SIZES if large else SIZES
     points = benchmark.pedantic(
         run_fig7_tree_properties,
-        kwargs={"sizes": SIZES, "n_seeds": 3, "master_seed": 2007},
+        kwargs={"sizes": sizes, "n_seeds": 3, "master_seed": 2007},
         rounds=1,
         iterations=1,
     )
@@ -31,8 +34,9 @@ def test_fig7a_max_branching(benchmark, emit):
 
     by = {(p.scheme, p.id_strategy, p.n_nodes): p for p in points}
 
-    # Balanced + probing: near-constant small max branching at every size.
-    for n in SIZES:
+    # Balanced + probing: near-constant small max branching at every size
+    # (including the 65536-node --large point).
+    for n in sizes:
         assert by[("balanced", "probing", n)].max_branching <= 8.0, n
 
     # Basic DAT grows with n (log-scale): 8192 markedly above 16.

@@ -9,12 +9,15 @@ from repro.experiments.fig7_tree_properties import run_fig7_tree_properties
 from repro.experiments.report import format_table
 
 SIZES = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+#: Appended with ``--large``: array-native pipeline keeps this affordable.
+LARGE_SIZES = [65536]
 
 
-def test_fig7b_avg_branching(benchmark, emit):
+def test_fig7b_avg_branching(benchmark, emit, large):
+    sizes = SIZES + LARGE_SIZES if large else SIZES
     points = benchmark.pedantic(
         run_fig7_tree_properties,
-        kwargs={"sizes": SIZES, "n_seeds": 3, "master_seed": 2007},
+        kwargs={"sizes": sizes, "n_seeds": 3, "master_seed": 2007},
         rounds=1,
         iterations=1,
     )
@@ -29,7 +32,7 @@ def test_fig7b_avg_branching(benchmark, emit):
 
     by = {(p.scheme, p.id_strategy, p.n_nodes): p for p in points}
 
-    large_sizes = [n for n in SIZES if n >= 128]
+    large_sizes = [n for n in sizes if n >= 128]
     for scheme in ("basic", "balanced"):
         # With probing: constant ~2 (paper: "almost the same constant
         # average branching factor of 2").

@@ -11,12 +11,15 @@ from repro.experiments.report import format_table
 from repro.util.bits import ceil_log2
 
 SIZES = [16, 64, 256, 1024, 4096, 8192]
+#: Appended with ``--large``: array-native pipeline keeps this affordable.
+LARGE_SIZES = [65536]
 
 
-def test_fig7c_heights(benchmark, emit):
+def test_fig7c_heights(benchmark, emit, large):
+    sizes = SIZES + LARGE_SIZES if large else SIZES
     points = benchmark.pedantic(
         run_fig7_tree_properties,
-        kwargs={"sizes": SIZES, "n_seeds": 3, "master_seed": 2007},
+        kwargs={"sizes": sizes, "n_seeds": 3, "master_seed": 2007},
         rounds=1,
         iterations=1,
     )
@@ -30,7 +33,7 @@ def test_fig7c_heights(benchmark, emit):
     )
     by = {(p.scheme, p.id_strategy, p.n_nodes): p for p in points}
 
-    for n in SIZES:
+    for n in sizes:
         log_n = ceil_log2(n)
         for scheme in ("basic", "balanced"):
             for ids in ("random", "probing"):
@@ -46,7 +49,7 @@ def test_fig7c_heights(benchmark, emit):
 
     # The balanced scheme's height stays within ~2x of the basic scheme's
     # (the cost of capping the branching factor).
-    for n in SIZES:
+    for n in sizes:
         basic = by[("basic", "probing", n)].height
         balanced = by[("balanced", "probing", n)].height
         assert balanced <= 2 * basic + 2

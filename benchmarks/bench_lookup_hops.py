@@ -15,13 +15,16 @@ from repro.experiments.report import format_table
 from repro.util.bits import ceil_log2
 
 SIZES = [64, 256, 1024, 4096, 8192]
+#: Appended with ``--large``: routing still walks object finger tables, so
+#: this point costs tens of seconds — opt-in only.
+LARGE_SIZES = [65536]
 
 
-def measure_hops():
+def measure_hops(sizes=SIZES):
     space = IdSpace(32)
     rng = np.random.default_rng(2007)
     rows = []
-    for n in SIZES:
+    for n in sizes:
         ring = ProbingIdAssigner().build_ring(space, n, rng=2007)
         tables = ring.all_finger_tables()
         nodes = ring.nodes
@@ -42,8 +45,11 @@ def measure_hops():
     return rows
 
 
-def test_lookup_hop_scaling(benchmark, emit):
-    rows = benchmark.pedantic(measure_hops, rounds=1, iterations=1)
+def test_lookup_hop_scaling(benchmark, emit, large):
+    sizes = SIZES + LARGE_SIZES if large else SIZES
+    rows = benchmark.pedantic(
+        measure_hops, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
     emit(
         "lookup_hops",
         format_table(rows, title="Chord lookup cost vs network size "
@@ -56,4 +62,10 @@ def test_lookup_hop_scaling(benchmark, emit):
         assert 0.3 * row["log2_n"] <= row["mean_hops"] <= 1.2 * row["log2_n"], row
 
     # Growth is logarithmic: x128 nodes adds only a few mean hops.
-    assert rows[-1]["mean_hops"] - rows[0]["mean_hops"] <= 5.0
+    base = [row for row in rows if row["n"] in SIZES]
+    assert base[-1]["mean_hops"] - base[0]["mean_hops"] <= 5.0
+
+    if large:
+        # Another x8 nodes adds only ~log2(8) = 3 mean hops.
+        at_large = next(row for row in rows if row["n"] == LARGE_SIZES[0])
+        assert at_large["mean_hops"] - base[-1]["mean_hops"] <= 4.0

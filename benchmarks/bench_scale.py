@@ -1,0 +1,261 @@
+"""Fig-7/8 statistics at 10^5-10^6-node scale (tentpole perf benchmark).
+
+The array-native pipeline — :class:`~repro.chord.ringarray.RingArray`
+rings, one shared finger matrix, and
+:class:`~repro.chord.fastbuild.DatTreeArrays` statistics — claims fig-grade
+measurements at n in {16k, 65k, 131k, 262k} in minutes on one core. This
+benchmark measures wall-clock and peak RSS per size, asserts the results
+are *equal* (floats bit-identical) to the object-based oracle at every
+size where the oracle is affordable, and records the trajectory in
+``benchmarks/results/BENCH_scale.json``.
+
+Runs two ways:
+
+* under pytest (tier-2 bench suite): ``pytest benchmarks/bench_scale.py``
+* standalone for the CI scale-smoke job::
+
+      python benchmarks/bench_scale.py --sizes 16384 \\
+          --check benchmarks/scale_threshold.json \\
+          --out BENCH_scale.json
+
+  With ``--check`` the exit code is non-zero when a size exceeds its
+  stored time budget or any oracle comparison diverges — the regression
+  gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import resource
+import sys
+import time
+
+from repro import telemetry
+from repro.experiments.scale import SCALE_SIZES, measure_scale_point
+
+BITS = 32
+#: Largest size where the object-based oracle runs alongside the fast path
+#: (a few seconds); beyond this only the array-native path is affordable.
+ORACLE_MAX_NODES = 16384
+RESULT_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
+THRESHOLD_PATH = pathlib.Path(__file__).parent / "scale_threshold.json"
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; no psutil needed.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return peak / 1024.0
+
+
+def measure(
+    n_nodes: int,
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    oracle_max: int = ORACLE_MAX_NODES,
+) -> dict[str, object]:
+    """One sweep point: fast-path stats + timing, oracle equality when affordable."""
+    start = time.perf_counter()
+    point = measure_scale_point(
+        n_nodes, bits=BITS, seed=seed, id_strategy=id_strategy
+    )
+    elapsed = time.perf_counter() - start
+    telemetry.gauge_set(
+        "scale_build_seconds", elapsed, n=n_nodes, ids=id_strategy
+    )
+
+    row: dict[str, object] = dict(point.as_row())
+    row["seconds"] = round(elapsed, 3)
+    row["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    if n_nodes <= oracle_max:
+        oracle = measure_scale_point(
+            n_nodes, bits=BITS, seed=seed, id_strategy=id_strategy, oracle=True
+        )
+        row["oracle_checked"] = True
+        row["oracle_identical"] = point == oracle
+    else:
+        row["oracle_checked"] = False
+        row["oracle_identical"] = None
+    return row
+
+
+def run_suite(
+    sizes: list[int],
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    oracle_max: int = ORACLE_MAX_NODES,
+) -> dict[str, object]:
+    rows = [
+        measure(n, seed=seed, id_strategy=id_strategy, oracle_max=oracle_max)
+        for n in sizes
+    ]
+    return {
+        "config": {
+            "bits": BITS,
+            "sizes": sizes,
+            "seed": seed,
+            "id_strategy": id_strategy,
+            "oracle_max_nodes": oracle_max,
+        },
+        "results": rows,
+    }
+
+
+def _format(payload: dict[str, object]) -> str:
+    lines = ["Scale sweep — fig-7/8 statistics on the array-native pipeline"]
+    lines.append(
+        f"{'n':>7} {'sec':>8} {'rss_mb':>8} {'b_max':>6} {'b_h':>4} "
+        f"{'bal_max':>8} {'bal_h':>6} {'imb_c':>10} {'imb_b':>7} "
+        f"{'imb_bal':>8} {'oracle':>7}"
+    )
+    for row in payload["results"]:  # type: ignore[union-attr]
+        oracle = (
+            "same"
+            if row["oracle_identical"]
+            else ("DIFF" if row["oracle_checked"] else "-")
+        )
+        lines.append(
+            f"{row['n']:>7} {row['seconds']:>8} {row['peak_rss_mb']:>8} "
+            f"{row['basic_max_branching']:>6} {row['basic_height']:>4} "
+            f"{row['balanced_max_branching']:>8} {row['balanced_height']:>6} "
+            f"{row['centralized_imbalance']:>10.1f} "
+            f"{row['basic_imbalance']:>7.2f} {row['balanced_imbalance']:>8.2f} "
+            f"{oracle:>7}"
+        )
+    return "\n".join(lines)
+
+
+def _check(payload: dict[str, object], threshold_path: pathlib.Path) -> list[str]:
+    """Regression gate: per-size time budgets + oracle exactness."""
+    threshold = json.loads(threshold_path.read_text())
+    budgets = {int(k): float(v) for k, v in threshold["max_seconds"].items()}
+    failures: list[str] = []
+    rows = payload["results"]
+    for row in rows:  # type: ignore[union-attr]
+        budget = budgets.get(int(row["n"]))  # type: ignore[arg-type]
+        if budget is not None and float(row["seconds"]) > budget:  # type: ignore[arg-type]
+            failures.append(
+                f"n={row['n']}: {row['seconds']}s exceeds budget {budget}s"
+            )
+    if threshold.get("require_oracle_identical", False):
+        checked = [r for r in rows if r["oracle_checked"]]  # type: ignore[union-attr]
+        if not checked:
+            failures.append(
+                "exactness gate requires at least one oracle-checked size "
+                f"(<= {ORACLE_MAX_NODES} nodes)"
+            )
+        for row in checked:
+            if not row["oracle_identical"]:
+                failures.append(
+                    f"n={row['n']}: fast-path statistics diverged from the "
+                    "object-based oracle"
+                )
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# pytest entry points (tier-2 bench suite)
+# --------------------------------------------------------------------- #
+
+
+def test_scale_statistics_match_oracle(emit):
+    """Fast path is bit-identical to the oracle at every overlapping size."""
+    payload = run_suite([512, 2048, 8192], seed=2007)
+    rows = payload["results"]
+    assert all(row["oracle_checked"] for row in rows)
+    assert all(row["oracle_identical"] for row in rows), rows
+    emit("scale_oracle", _format(payload))
+
+
+def test_scale_point_shape_at_16k(emit):
+    """Paper-shape anchors hold at 16384 nodes (first beyond the fig sweeps)."""
+    payload = run_suite([16384], seed=2007)
+    RESULT_PATH.parent.mkdir(exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("scale", _format(payload))
+
+    (row,) = payload["results"]
+    assert row["oracle_identical"] is True
+    # Balanced DAT: near-constant branching and imbalance (Sec. 3.4-3.5).
+    assert row["balanced_max_branching"] <= 8
+    assert row["balanced_imbalance"] <= 6.0
+    # Basic DAT: logarithmic; centralized: linear in n.
+    assert row["balanced_imbalance"] < row["basic_imbalance"]
+    assert row["basic_imbalance"] < row["centralized_imbalance"]
+    assert row["centralized_max_load"] == 16384 - 1
+    # Heights stay logarithmic: well under 2*log2(n).
+    assert row["basic_height"] <= 28
+    assert row["balanced_height"] <= 28
+
+
+def test_scale_large_sweep(emit, large):
+    """The full 16k-262k sweep (only with ``--large``; minutes of work)."""
+    if not large:
+        import pytest
+
+        pytest.skip("pass --large to run the 16k-262k scale sweep")
+    payload = run_suite(SCALE_SIZES, seed=2007)
+    RESULT_PATH.parent.mkdir(exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("scale", _format(payload))
+    rows = payload["results"]
+    assert all(
+        row["oracle_identical"] for row in rows if row["oracle_checked"]
+    )
+    # Acceptance criterion: n=131072 completes in under 5 minutes.
+    at_131k = next(row for row in rows if row["n"] == 131072)
+    assert at_131k["seconds"] < 300.0, at_131k
+
+
+# --------------------------------------------------------------------- #
+# Standalone CLI (CI scale-smoke job)
+# --------------------------------------------------------------------- #
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(n) for n in SCALE_SIZES),
+        help="comma-separated ring sizes",
+    )
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--ids", default="probing", help="identifier strategy")
+    parser.add_argument(
+        "--out", default=str(RESULT_PATH), help="where to write the JSON result"
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="threshold JSON: fail on time-budget or oracle-exactness regression",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [int(part) for part in args.sizes.split(",") if part]
+    payload = run_suite(sizes, seed=args.seed, id_strategy=args.ids)
+    print(_format(payload))
+
+    out_path = pathlib.Path(args.out)
+    if out_path.parent != pathlib.Path("."):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        failures = _check(payload, pathlib.Path(args.check))
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+        print("scale gate: all time budgets met, oracle comparisons identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

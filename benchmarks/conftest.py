@@ -15,6 +15,24 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--large",
+        action="store_true",
+        default=False,
+        help=(
+            "extend benchmark sweeps with >=65536-node points "
+            "(minutes of extra single-core work)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def large(request: pytest.FixtureRequest) -> bool:
+    """True when ``--large`` was passed: run the 65k+ sweep extensions."""
+    return bool(request.config.getoption("--large"))
+
+
 @pytest.fixture(scope="session")
 def emit():
     """Print a named result block and persist it to benchmarks/results/."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.chord.idspace import IdSpace
 from repro.core.tree import DatTree
 from repro.util.bits import ceil_log2, is_power_of_two
@@ -31,6 +33,7 @@ __all__ = [
     "theoretical_balanced_height_bound",
     "imbalance_factor",
     "load_distribution",
+    "load_rank_array",
     "compare_measured_to_theory",
     "compare_depths_to_theory",
 ]
@@ -136,7 +139,20 @@ def imbalance_factor(loads: Iterable[float] | Mapping[int, float]) -> float:
     A perfectly balanced aggregation has an imbalance factor of 1; the
     centralized baseline grows linearly with ``n``, the basic DAT
     logarithmically, the balanced DAT stays near constant.
+
+    Integer ndarrays take a whole-array path with no per-element boxing —
+    the sum and max are exact integers, so the result is bit-identical to
+    the scalar fold (one IEEE division, one IEEE ratio, same operands).
+    Float ndarrays fall through to the scalar fold: ``np.sum`` is pairwise
+    while ``sum`` is sequential, and the two can round differently.
     """
+    if isinstance(loads, np.ndarray) and np.issubdtype(loads.dtype, np.integer):
+        if not loads.size:
+            raise ValueError("imbalance factor of an empty load set is undefined")
+        average = int(loads.sum(dtype=np.int64)) / int(loads.size)
+        if average == 0:
+            raise ValueError("imbalance factor undefined for an all-zero load set")
+        return int(loads.max()) / average
     values = list(loads.values()) if isinstance(loads, Mapping) else list(loads)
     if not values:
         raise ValueError("imbalance factor of an empty load set is undefined")
@@ -152,6 +168,16 @@ def load_distribution(loads: Mapping[int, float]) -> list[tuple[int, float]]:
     Returns ``(node, load)`` pairs; index in the list is the node's rank.
     """
     return sorted(loads.items(), key=lambda item: (-item[1], item[0]))
+
+
+def load_rank_array(loads: np.ndarray) -> np.ndarray:
+    """Loads sorted descending — the array-native Fig. 8(a) rank curve.
+
+    The value vector of :func:`load_distribution` without the node pairing
+    (equal loads are indistinguishable in the curve), so 10^5-node rank
+    plots never materialize per-node tuples.
+    """
+    return np.sort(loads)[::-1]
 
 
 def compare_measured_to_theory(tree: DatTree, bits: int) -> dict[int, tuple[int, int]]:

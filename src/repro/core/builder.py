@@ -20,9 +20,10 @@ from repro.chord.fingers import FingerTable
 from repro.chord.ring import StaticRing
 from repro.core.limiting import FingerLimiter
 from repro.core.parent import select_parent_balanced, select_parent_basic
-from repro.core.tree import DatTree
+from repro.core.tree import DatTree, TreeStats
 
 if TYPE_CHECKING:  # circular at runtime: incremental/fastbuild import us
+    from repro.chord.fastbuild import DatTreeArrays
     from repro.chord.incremental import DatUpdateEngine, DatUpdateReport
 
 __all__ = [
@@ -232,6 +233,35 @@ class DatTreeBuilder:
     def build_many(self, keys: list[int]) -> dict[int, DatTree]:
         """Build one DAT per rendezvous key (multi-tree scenario)."""
         return {key: self.build(key) for key in keys}
+
+    def tree_arrays(self, key: int) -> "DatTreeArrays | None":
+        """Array-native snapshot for ``key``, or ``None`` off the fast path.
+
+        Returns a :class:`~repro.chord.fastbuild.DatTreeArrays` built with
+        the cached finger matrix — the large-``n`` route that never boxes
+        per-node Python objects. ``None`` means the space is too wide (or
+        the ring trivial) and the caller should use :meth:`build`; when the
+        incremental engine is active the maintained matrix backs the
+        snapshot, so arrays reflect the post-churn membership.
+        """
+        matrix = self.finger_matrix
+        if matrix is None:
+            return None
+        from repro.chord.fastbuild import fast_tree_arrays
+
+        return fast_tree_arrays(self.ring, key, scheme=self.scheme, matrix=matrix)
+
+    def tree_stats(self, key: int) -> TreeStats:
+        """Sec. 5.2 statistics for ``key`` without materializing a tree.
+
+        Bit-identical to ``build(key).stats()`` (the fastbuild equivalence
+        discipline) but array-native end to end on the fast path, so it
+        stays O(n) int64 storage at 10^5-10^6 nodes.
+        """
+        arrays = self.tree_arrays(key)
+        if arrays is None:
+            return self.build(key).stats()
+        return arrays.stats()
 
     def apply_event(self, kind: str, ident: int) -> DatUpdateReport:
         """Apply a join/leave/crash, patching caches and built trees.

@@ -22,6 +22,12 @@ from repro.experiments.maan_routing import MaanRoutingResult, run_maan_routing
 from repro.experiments.churn_overhead import ChurnOverheadResult, run_churn_overhead
 from repro.experiments.dynamics import DynamicsPoint, DynamicsResult, run_dynamics
 from repro.experiments.report import format_table
+from repro.experiments.scale import (
+    SCALE_SIZES,
+    ScalePoint,
+    measure_scale_point,
+    run_scale_sweep,
+)
 
 __all__ = [
     "SweepPoint",
@@ -43,4 +49,8 @@ __all__ = [
     "DynamicsResult",
     "run_dynamics",
     "format_table",
+    "SCALE_SIZES",
+    "ScalePoint",
+    "measure_scale_point",
+    "run_scale_sweep",
 ]

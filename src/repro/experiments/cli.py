@@ -31,6 +31,7 @@ from repro.experiments.fig8_load_balance import (
 from repro.experiments.fig9_accuracy import run_fig9_accuracy
 from repro.experiments.maan_routing import run_maan_routing
 from repro.experiments.report import format_table
+from repro.experiments.scale import SCALE_SIZES, run_scale_sweep
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -161,6 +162,15 @@ def _dynamics(args: argparse.Namespace) -> str:
     )
 
 
+def _scale(args: argparse.Namespace) -> str:
+    sizes = [1024, 4096] if args.quick else SCALE_SIZES
+    points = run_scale_sweep(sizes=sizes, seed=args.seed)
+    return format_table(
+        [p.as_row() for p in points],
+        title="Scale — Fig 7/8 statistics at 10^4-10^5+ nodes (array-native)",
+    )
+
+
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig7": _fig7,
     "fig8a": _fig8a,
@@ -169,6 +179,7 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "maan": _maan,
     "churn": _churn,
     "dynamics": _dynamics,
+    "scale": _scale,
 }
 
 

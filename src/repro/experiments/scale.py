@@ -1,0 +1,231 @@
+"""Fig. 7/8-grade statistics at 10^5-10^6 nodes (the ROADMAP scale push).
+
+The paper's scalability claims (Sec. 3, Figs. 7-8) are asymptotic; the
+figure sweeps top out at 8192 nodes. This module measures the same
+statistics — max/average branching, height, per-scheme load imbalance —
+one to two orders of magnitude further, entirely on the array-native
+pipeline: array-backed rings (:class:`~repro.chord.ringarray.RingArray`),
+one shared finger matrix, and :class:`~repro.chord.fastbuild.DatTreeArrays`
+statistics that never materialize per-node Python objects.
+
+Every point can also be measured with ``oracle=True``, which runs the
+object-based reference path (:func:`~repro.core.builder.build_dat`,
+:func:`~repro.baselines.centralized.centralized_routed_loads`) on the same
+ring. The two modes return *equal* :class:`ScalePoint` values — floats
+bit-identical — which is the exactness gate ``benchmarks/bench_scale.py``
+enforces at every size where the oracle is affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.baselines.centralized import centralized_routed_loads
+from repro.chord.fastbuild import (
+    fast_centralized_load_array,
+    fast_finger_matrix,
+    fast_tree_arrays,
+)
+from repro.chord.idgen import make_assigner
+from repro.chord.idspace import IdSpace
+from repro.chord.ring import StaticRing
+from repro.core.analysis import imbalance_factor
+from repro.core.builder import DatScheme, build_balanced_dat, build_basic_dat
+from repro.core.tree import TreeStats
+
+__all__ = ["SCALE_SIZES", "ScalePoint", "measure_scale_point", "run_scale_sweep"]
+
+#: The scale sweep's x-axis: 2x steps from 16k to 262k nodes.
+SCALE_SIZES = [16384, 65536, 131072, 262144]
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Fig. 7 + Fig. 8 statistics for one (size, strategy, seed) ring.
+
+    Instances compare equal across the fast and oracle paths — including
+    the float fields, which both paths compute with the same IEEE
+    operation sequence (one integer-exact division per mean, one ratio).
+    """
+
+    n_nodes: int
+    id_strategy: str
+    seed: int
+    #: Sec. 5.2 tree metrics per scheme (Fig. 7).
+    basic: TreeStats
+    balanced: TreeStats
+    #: Max per-node load and max/mean imbalance per scheme (Fig. 8).
+    basic_max_load: int
+    balanced_max_load: int
+    centralized_max_load: int
+    basic_imbalance: float
+    balanced_imbalance: float
+    centralized_imbalance: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Flat dict for tables and the benchmark's JSON output."""
+        return {
+            "n": self.n_nodes,
+            "ids": self.id_strategy,
+            "basic_max_branching": self.basic.max_branching,
+            "basic_avg_branching": self.basic.avg_branching,
+            "basic_height": self.basic.height,
+            "balanced_max_branching": self.balanced.max_branching,
+            "balanced_avg_branching": self.balanced.avg_branching,
+            "balanced_height": self.balanced.height,
+            "centralized_max_load": self.centralized_max_load,
+            "basic_imbalance": self.basic_imbalance,
+            "balanced_imbalance": self.balanced_imbalance,
+            "centralized_imbalance": self.centralized_imbalance,
+        }
+
+
+def _measure_fast(
+    ring: StaticRing, rendezvous: int
+) -> tuple[TreeStats, TreeStats, int, int, int, float, float, float]:
+    matrix = fast_finger_matrix(ring)
+    basic = fast_tree_arrays(
+        ring, rendezvous, scheme=DatScheme.BASIC, matrix=matrix
+    )
+    balanced = fast_tree_arrays(
+        ring, rendezvous, scheme=DatScheme.BALANCED, matrix=matrix
+    )
+    basic_loads = basic.message_load_array()
+    balanced_loads = balanced.message_load_array()
+    central_loads = fast_centralized_load_array(ring, rendezvous, matrix=matrix)
+    return (
+        basic.stats(),
+        balanced.stats(),
+        int(basic_loads.max()),
+        int(balanced_loads.max()),
+        int(central_loads.max()),
+        imbalance_factor(basic_loads),
+        imbalance_factor(balanced_loads),
+        imbalance_factor(central_loads),
+    )
+
+
+def _measure_oracle(
+    ring: StaticRing, rendezvous: int
+) -> tuple[TreeStats, TreeStats, int, int, int, float, float, float]:
+    tables = ring.all_finger_tables()
+    basic = build_basic_dat(ring, rendezvous, tables=tables)
+    balanced = build_balanced_dat(ring, rendezvous, tables=tables)
+    basic_loads = basic.message_loads()
+    balanced_loads = balanced.message_loads()
+    central_loads = centralized_routed_loads(ring, rendezvous, tables=tables)
+    return (
+        basic.stats(),
+        balanced.stats(),
+        max(basic_loads.values()),
+        max(balanced_loads.values()),
+        max(central_loads.values()),
+        imbalance_factor(basic_loads),
+        imbalance_factor(balanced_loads),
+        imbalance_factor(central_loads),
+    )
+
+
+def measure_scale_point(
+    n_nodes: int,
+    bits: int = 32,
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    key: int = 0xA5A5A5,
+    oracle: bool = False,
+) -> ScalePoint:
+    """Measure one ring's Fig. 7/8 statistics.
+
+    ``oracle=True`` runs the object-based reference path instead of the
+    array-native one; the returned :class:`ScalePoint` is equal either way
+    (the benchmark asserts this), so the flag exists purely to *prove* the
+    equality and to measure the speedup.
+    """
+    space = IdSpace(bits)
+    ring = make_assigner(id_strategy).build_ring(space, n_nodes, rng=seed)
+    rendezvous = space.wrap(key)
+    measure = _measure_oracle if oracle else _measure_fast
+    (
+        basic_stats,
+        balanced_stats,
+        basic_max,
+        balanced_max,
+        central_max,
+        basic_imb,
+        balanced_imb,
+        central_imb,
+    ) = measure(ring, rendezvous)
+    return ScalePoint(
+        n_nodes=n_nodes,
+        id_strategy=id_strategy,
+        seed=seed,
+        basic=basic_stats,
+        balanced=balanced_stats,
+        basic_max_load=basic_max,
+        balanced_max_load=balanced_max,
+        centralized_max_load=central_max,
+        basic_imbalance=basic_imb,
+        balanced_imbalance=balanced_imb,
+        centralized_imbalance=central_imb,
+    )
+
+
+def run_scale_sweep(
+    sizes: list[int] | None = None,
+    bits: int = 32,
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    key: int = 0xA5A5A5,
+    oracle: bool = False,
+) -> list[ScalePoint]:
+    """Measure the full scale sweep (one seed — points are already huge).
+
+    Publishes per-point ``scale_max_branching`` / ``scale_height`` /
+    ``scale_imbalance`` gauges when telemetry is enabled; the wall-clock
+    ``scale_build_seconds`` gauge is set by ``benchmarks/bench_scale.py``,
+    which owns the timing (library code never reads wall clocks —
+    datlint DAT008).
+    """
+    sizes = sizes if sizes is not None else SCALE_SIZES
+    points: list[ScalePoint] = []
+    with telemetry.span(
+        "experiment.scale", n_sizes=len(sizes), oracle=oracle
+    ):
+        for n_nodes in sizes:
+            point = measure_scale_point(
+                n_nodes,
+                bits=bits,
+                seed=seed,
+                id_strategy=id_strategy,
+                key=key,
+                oracle=oracle,
+            )
+            points.append(point)
+            if telemetry.is_enabled():
+                for scheme, stats in (
+                    ("basic", point.basic),
+                    ("balanced", point.balanced),
+                ):
+                    labels = {"scheme": scheme, "ids": id_strategy, "n": n_nodes}
+                    telemetry.gauge_set(
+                        "scale_max_branching",
+                        float(stats.max_branching),
+                        **labels,
+                    )
+                    telemetry.gauge_set(
+                        "scale_height", float(stats.height), **labels
+                    )
+                for scheme, imbalance in (
+                    ("basic", point.basic_imbalance),
+                    ("balanced", point.balanced_imbalance),
+                    ("centralized", point.centralized_imbalance),
+                ):
+                    telemetry.gauge_set(
+                        "scale_imbalance",
+                        imbalance,
+                        scheme=scheme,
+                        ids=id_strategy,
+                        n=n_nodes,
+                    )
+    return points

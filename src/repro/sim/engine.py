@@ -5,18 +5,26 @@ chronological order." — this module is that engine, with two additions a
 reproduction needs: deterministic tie-breaking (events at equal timestamps
 fire in insertion order, so runs are bit-identical across platforms) and
 cancellable events (protocol timers are rescheduled constantly).
+
+The queue is an *indexed* binary heap: every event carries its own heap
+position, so :meth:`Event.cancel` removes it in O(log n) instead of leaving
+a tombstone to be popped past later. Churn replay at 10^5 nodes cancels a
+retransmission timer for nearly every delivered message — with lazy
+deletion those tombstones dominated heap size (and every ``pending`` read
+was a full scan); with indexed removal the heap holds live events only and
+``pending`` is O(1).
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.errors import SimulationError
 
-__all__ = ["Event", "TickHook", "SimulationEngine"]
+__all__ = ["Event", "IndexedEventHeap", "TickHook", "SimulationEngine"]
 
 
 @dataclass(order=True)
@@ -32,10 +40,141 @@ class Event:
     callback: Callable[[], Any] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Intrusive position index: the heap that holds the event and its slot
+    #: in that heap's array. Maintained by :class:`IndexedEventHeap` only.
+    _heap: IndexedEventHeap | None = field(
+        default=None, compare=False, repr=False
+    )
+    _index: int = field(default=-1, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it (O(1) lazy deletion)."""
+        """Cancel the event, removing it from its heap in O(log n).
+
+        Safe to call at any point — before the event fires (it is unlinked
+        immediately), after it fired, or twice (no-ops). The ``cancelled``
+        flag stays set so callers can still observe the state.
+        """
         self.cancelled = True
+        heap = self._heap
+        if heap is not None:
+            heap.remove(self)
+
+
+class IndexedEventHeap:
+    """Binary min-heap of :class:`Event` with intrusive position tracking.
+
+    Each contained event stores its own array slot (``event._index``), so
+    removal from the middle — the cancel path — is O(log n): swap the last
+    element into the hole and restore the heap property from there. No
+    position dict, no tombstones; ``len(heap)`` is exactly the live event
+    count.
+
+    ``lazy_deleted`` counts events that arrived at :meth:`pop` with their
+    ``cancelled`` flag already set — possible only for flags written
+    directly instead of via :meth:`Event.cancel`, so the counter is a
+    telemetry canary for code bypassing indexed removal (it stays 0 in a
+    healthy run).
+    """
+
+    __slots__ = ("_events", "lazy_deleted")
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self.lazy_deleted = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def peek(self) -> Event:
+        """The earliest event, without removing it."""
+        return self._events[0]
+
+    def push(self, event: Event) -> None:
+        """Insert ``event`` (O(log n))."""
+        event._heap = self
+        event._index = len(self._events)
+        self._events.append(event)
+        self._sift_up(event._index)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (O(log n))."""
+        events = self._events
+        top = events[0]
+        last = events.pop()
+        if events:
+            events[0] = last
+            last._index = 0
+            self._sift_down(0)
+        top._heap = None
+        top._index = -1
+        return top
+
+    def remove(self, event: Event) -> bool:
+        """Unlink ``event`` from any position (O(log n)).
+
+        Returns False when the event is not in this heap (already fired,
+        already removed, or never scheduled).
+        """
+        if event._heap is not self:
+            return False
+        events = self._events
+        slot = event._index
+        event._heap = None
+        event._index = -1
+        last = events.pop()
+        if slot < len(events):
+            events[slot] = last
+            last._index = slot
+            self._sift_up(slot)
+            if last._index == slot:
+                self._sift_down(slot)
+        return True
+
+    def clear(self) -> None:
+        """Drop every event, unlinking each."""
+        for event in self._events:
+            event._heap = None
+            event._index = -1
+        self._events.clear()
+
+    def _sift_up(self, slot: int) -> None:
+        events = self._events
+        moving = events[slot]
+        while slot > 0:
+            parent_slot = (slot - 1) >> 1
+            parent = events[parent_slot]
+            if moving < parent:
+                events[slot] = parent
+                parent._index = slot
+                slot = parent_slot
+            else:
+                break
+        events[slot] = moving
+        moving._index = slot
+
+    def _sift_down(self, slot: int) -> None:
+        events = self._events
+        size = len(events)
+        moving = events[slot]
+        while True:
+            child_slot = 2 * slot + 1
+            if child_slot >= size:
+                break
+            right = child_slot + 1
+            if right < size and events[right] < events[child_slot]:
+                child_slot = right
+            child = events[child_slot]
+            if child < moving:
+                events[slot] = child
+                child._index = slot
+                slot = child_slot
+            else:
+                break
+        events[slot] = moving
+        moving._index = slot
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IndexedEventHeap(n={len(self._events)})"
 
 
 @dataclass
@@ -74,11 +213,12 @@ class SimulationEngine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
+        self._heap = IndexedEventHeap()
         self._sequence = itertools.count()
         self._events_fired = 0
         self._running = False
         self._hooks: list[TickHook] = []
+        self._heap_peak = 0
 
     @property
     def now(self) -> float:
@@ -87,13 +227,37 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1)).
+
+        Cancelled events leave the indexed heap immediately, so the live
+        count is simply the heap size — no scan.
+        """
+        return len(self._heap)
 
     @property
     def events_fired(self) -> int:
         """Total events executed so far."""
         return self._events_fired
+
+    @property
+    def heap_peak(self) -> int:
+        """Largest number of simultaneously pending events seen so far.
+
+        Published as the ``sim_heap_peak`` telemetry gauge after each
+        :meth:`run`.
+        """
+        return self._heap_peak
+
+    @property
+    def lazy_deleted(self) -> int:
+        """Events that reached the pop path already cancelled.
+
+        Stays 0 when every cancellation goes through :meth:`Event.cancel`
+        (which unlinks indexed); a nonzero value means something set the
+        ``cancelled`` flag directly. Published as the
+        ``sim_heap_lazy_deleted`` telemetry gauge after each :meth:`run`.
+        """
+        return self._heap.lazy_deleted
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -110,7 +274,9 @@ class SimulationEngine:
         event = Event(
             time=time, sequence=next(self._sequence), callback=callback, label=label
         )
-        heapq.heappush(self._heap, event)
+        self._heap.push(event)
+        if len(self._heap) > self._heap_peak:
+            self._heap_peak = len(self._heap)
         return event
 
     def schedule(
@@ -163,9 +329,12 @@ class SimulationEngine:
 
     def step(self) -> bool:
         """Fire the next event. Returns False when the queue is exhausted."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        while len(self._heap):
+            event = self._heap.pop()
             if event.cancelled:
+                # Unreachable via Event.cancel (indexed removal); counted
+                # as a canary for direct flag writes.
+                self._heap.lazy_deleted += 1
                 continue
             if self._hooks:
                 self._fire_hooks(event.time)
@@ -198,11 +367,12 @@ class SimulationEngine:
         self._running = True
         fired = 0
         try:
-            while self._heap:
-                # Skip cancelled heads without firing.
-                head = self._heap[0]
+            while len(self._heap):
+                head = self._heap.peek()
                 if head.cancelled:
-                    heapq.heappop(self._heap)
+                    # Canary path: flag written directly, not via cancel().
+                    self._heap.pop()
+                    self._heap.lazy_deleted += 1
                     continue
                 if until is not None and head.time > until:
                     break
@@ -220,6 +390,10 @@ class SimulationEngine:
             return self._now
         finally:
             self._running = False
+            telemetry.gauge_set("sim_heap_peak", float(self._heap_peak))
+            telemetry.gauge_set(
+                "sim_heap_lazy_deleted", float(self._heap.lazy_deleted)
+            )
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left where it is)."""

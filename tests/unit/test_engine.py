@@ -1,9 +1,12 @@
 """Unit tests for the discrete-event engine."""
 
+import random
+
 import pytest
 
+from repro import telemetry
 from repro.errors import SimulationError
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import Event, IndexedEventHeap, SimulationEngine
 
 
 class TestScheduling:
@@ -78,6 +81,136 @@ class TestCancellation:
         engine.schedule(2.0, lambda: None)
         event.cancel()
         assert engine.pending == 1
+
+    def test_cancel_unlinks_from_heap_immediately(self):
+        engine = SimulationEngine()
+        event = engine.schedule(5.0, lambda: None)
+        assert len(engine._heap) == 1
+        event.cancel()
+        # No tombstone: the heap is empty, not holding a flagged event.
+        assert len(engine._heap) == 0
+        assert event.cancelled
+
+    def test_cancel_is_idempotent_and_safe_after_firing(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        event.cancel()
+        event.cancel()
+        assert engine.pending == 0
+
+    def test_cancel_10k_timers_without_quadratic_blowup(self):
+        # Regression for the former pop-and-scan path: cancelling a timer
+        # left a tombstone and every `pending` read scanned the whole heap,
+        # so cancel+check loops were quadratic. With indexed removal this
+        # loop is ~10k * O(log n); the old path would do ~10^8 scan steps.
+        engine = SimulationEngine()
+        timers = [
+            engine.schedule(float(i % 97) + 1.0, lambda: None, label=f"t{i}")
+            for i in range(10_000)
+        ]
+        survivor = engine.schedule(1000.0, lambda: None)
+        order = list(range(len(timers)))
+        random.Random(7).shuffle(order)
+        for count, i in enumerate(order):
+            timers[i].cancel()
+            # The O(1) pending read is exact after every single cancel.
+            assert engine.pending == len(timers) - count - 1 + 1
+        assert engine.pending == 1
+        assert len(engine._heap) == 1
+        assert engine._heap.peek() is survivor
+        engine.run()
+        assert engine.events_fired == 1
+        assert engine.lazy_deleted == 0
+
+    def test_heap_peak_and_lazy_deleted_gauges(self):
+        with telemetry.enabled() as tel:
+            engine = SimulationEngine()
+            for t in (1.0, 2.0, 3.0):
+                engine.schedule(t, lambda: None)
+            assert engine.heap_peak == 3
+            engine.run()
+            gauges = {
+                m.name: m.value
+                for m in tel.metrics.samples()
+                if m.kind == "gauge"
+            }
+        assert gauges["repro_sim_heap_peak"] == 3.0
+        assert gauges["repro_sim_heap_lazy_deleted"] == 0.0
+
+    def test_direct_flag_write_counts_as_lazy_deletion(self):
+        # Unsupported path kept as a canary: bypassing Event.cancel() leaves
+        # a tombstone that pop() skips and counts.
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        event.cancelled = True
+        engine.run()
+        assert engine.events_fired == 1
+        assert engine.lazy_deleted == 1
+
+
+class TestIndexedEventHeap:
+    def _event(self, time, seq):
+        return Event(time=time, sequence=seq, callback=lambda: None)
+
+    def test_pop_order_matches_sort_order(self):
+        heap = IndexedEventHeap()
+        rng = random.Random(42)
+        events = [self._event(rng.uniform(0, 100), seq) for seq in range(500)]
+        for event in rng.sample(events, len(events)):
+            heap.push(event)
+        drained = [heap.pop() for _ in range(len(events))]
+        assert drained == sorted(events, key=lambda e: (e.time, e.sequence))
+        assert len(heap) == 0
+
+    def test_remove_from_middle_keeps_order(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            heap = IndexedEventHeap()
+            events = [
+                self._event(rng.uniform(0, 10), seq) for seq in range(60)
+            ]
+            for event in events:
+                heap.push(event)
+            removed = rng.sample(events, 23)
+            for event in removed:
+                assert heap.remove(event) is True
+            survivors = [e for e in events if e not in removed]
+            drained = [heap.pop() for _ in range(len(heap))]
+            assert drained == sorted(
+                survivors, key=lambda e: (e.time, e.sequence)
+            )
+
+    def test_remove_absent_returns_false(self):
+        heap = IndexedEventHeap()
+        event = self._event(1.0, 0)
+        assert heap.remove(event) is False
+        heap.push(event)
+        popped = heap.pop()
+        assert popped is event
+        assert heap.remove(event) is False
+
+    def test_position_index_is_consistent(self):
+        heap = IndexedEventHeap()
+        rng = random.Random(3)
+        events = [self._event(rng.uniform(0, 5), seq) for seq in range(200)]
+        for event in events:
+            heap.push(event)
+        for event in rng.sample(events, 80):
+            heap.remove(event)
+        for slot, event in enumerate(heap._events):
+            assert event._index == slot
+            assert event._heap is heap
+
+    def test_clear_unlinks_members(self):
+        heap = IndexedEventHeap()
+        events = [self._event(float(i), i) for i in range(5)]
+        for event in events:
+            heap.push(event)
+        heap.clear()
+        assert len(heap) == 0
+        assert all(e._heap is None and e._index == -1 for e in events)
 
 
 class TestRunBounds:

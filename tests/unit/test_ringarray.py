@@ -1,0 +1,186 @@
+"""Unit tests for the array-backed ring index and StaticRing's dual storage."""
+
+import numpy as np
+import pytest
+
+from repro.chord.idspace import IdSpace
+from repro.chord.ring import ARRAY_BACKED_THRESHOLD, StaticRing
+from repro.chord.ringarray import ARRAY_MAX_BITS, RingArray, fast_probing_ids
+from repro.errors import (
+    DuplicateNodeError,
+    EmptyRingError,
+    IdentifierError,
+    UnknownNodeError,
+)
+
+SPACE = IdSpace(8)  # identifiers 0..255
+
+
+def make(ids):
+    return RingArray(SPACE, np.array(ids, dtype=np.int64))
+
+
+class TestConstruction:
+    def test_rejects_wide_spaces(self):
+        with pytest.raises(IdentifierError):
+            RingArray(IdSpace(ARRAY_MAX_BITS + 1), np.array([], dtype=np.int64))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(DuplicateNodeError):
+            make([5, 3, 9])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DuplicateNodeError):
+            make([3, 3, 9])
+
+    def test_rejects_out_of_space(self):
+        with pytest.raises(IdentifierError):
+            make([0, 300])
+
+    def test_rejects_2d(self):
+        with pytest.raises(IdentifierError):
+            RingArray(SPACE, np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_ok(self):
+        ring = make([])
+        assert len(ring) == 0
+        with pytest.raises(EmptyRingError):
+            ring.successor(0)
+
+
+class TestMembership:
+    def test_contains_and_index(self):
+        ring = make([10, 40, 200])
+        assert ring.contains(40)
+        assert not ring.contains(41)
+        assert not ring.contains(-1)
+        assert not ring.contains(999)
+        assert ring.index_of(200) == 2
+        with pytest.raises(UnknownNodeError):
+            ring.index_of(7)
+
+    def test_insert_keeps_sorted(self):
+        ring = make([10, 200])
+        ring.insert(40)
+        assert list(ring.ids) == [10, 40, 200]
+        with pytest.raises(DuplicateNodeError):
+            ring.insert(40)
+
+    def test_delete(self):
+        ring = make([10, 40, 200])
+        ring.delete(40)
+        assert list(ring.ids) == [10, 200]
+        with pytest.raises(UnknownNodeError):
+            ring.delete(40)
+
+
+class TestQueries:
+    def test_successor_wraps(self):
+        ring = make([10, 40, 200])
+        assert ring.successor(10) == 10  # inclusive
+        assert ring.successor(11) == 40
+        assert ring.successor(201) == 10  # wraps past the top
+        assert ring.successor_index(250) == 0
+
+    def test_predecessor_wraps(self):
+        ring = make([10, 40, 200])
+        assert ring.predecessor(10) == 200  # strict, wraps below the bottom
+        assert ring.predecessor(11) == 10
+        assert ring.predecessor(0) == 200
+
+    def test_neighbors_by_index(self):
+        ring = make([10, 40, 200])
+        assert ring.successor_of_index(2) == 10
+        assert ring.predecessor_of_index(0) == 200
+
+    def test_vectorized_successors(self):
+        ring = make([10, 40, 200])
+        keys = np.array([0, 10, 11, 201, 255], dtype=np.int64)
+        assert list(ring.successors(keys)) == [10, 10, 40, 10, 10]
+
+    def test_slice_closed(self):
+        ring = make([10, 40, 200])
+        assert list(ring.slice_closed(10, 40)) == [10, 40]
+        assert list(ring.slice_closed(11, 39)) == []
+        assert list(ring.slice_closed(200, 40)) == [200, 10, 40]  # wrap
+        assert list(ring.slice_closed(40, 40)) == [40]
+
+    def test_gaps(self):
+        ring = make([10, 40, 200])
+        assert list(ring.gaps()) == [66, 30, 160]  # 10+256-200 = 66
+        assert list(make([7]).gaps()) == [256]  # sole member owns the space
+
+
+class TestStaticRingDualStorage:
+    def test_auto_mode_by_threshold(self):
+        small = StaticRing(IdSpace(32), range(100))
+        assert not small.array_backed
+        ids = list(range(ARRAY_BACKED_THRESHOLD))
+        big = StaticRing.from_sorted_ids(IdSpace(32), ids)
+        assert big.array_backed
+
+    def test_wide_space_stays_object_backed(self):
+        ring = StaticRing(IdSpace(128), range(64), array_backed=None)
+        assert not ring.array_backed
+        with pytest.raises(IdentifierError):
+            StaticRing(IdSpace(128), range(64), array_backed=True)
+        with pytest.raises(IdentifierError):
+            ring.id_index()
+
+    def test_forced_modes_answer_identically(self):
+        space = IdSpace(16)
+        idents = [5, 99, 1000, 40000, 65000]
+        obj = StaticRing(space, idents, array_backed=False)
+        arr = StaticRing(space, idents, array_backed=True)
+        for key in [0, 5, 6, 64999, 65001, 65535]:
+            assert obj.successor(key) == arr.successor(key)
+            assert obj.predecessor(key) == arr.predecessor(key)
+        assert obj.nodes == arr.nodes
+        assert obj.nodes_in_interval(40000, 99) == arr.nodes_in_interval(40000, 99)
+        for ident in idents:
+            assert obj.gap_before(ident) == arr.gap_before(ident)
+
+    def test_id_index_view_is_cached_and_version_aware(self):
+        ring = StaticRing(IdSpace(16), [1, 2, 3], array_backed=False)
+        first = ring.id_index()
+        assert first is ring.id_index()  # cached until membership changes
+        ring.add(7)
+        second = ring.id_index()
+        assert second is not first
+        assert list(second.ids) == [1, 2, 3, 7]
+
+    def test_array_mode_mutation(self):
+        ring = StaticRing(IdSpace(16), [10, 20, 30], array_backed=True)
+        ring.add(25)
+        ring.remove(10)
+        assert ring.nodes == [20, 25, 30]
+        assert ring.successor(26) == 30
+        assert 25 in ring and 10 not in ring
+
+    def test_from_sorted_ids_rejects_bad_input(self):
+        with pytest.raises(DuplicateNodeError):
+            StaticRing.from_sorted_ids(IdSpace(16), [3, 2])
+        with pytest.raises(IdentifierError):
+            StaticRing.from_sorted_ids(IdSpace(8), [0, 256])
+
+
+class TestFastProbingIds:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fast_probing_ids(SPACE, -1)
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            fast_probing_ids(IdSpace(3), 9)
+
+    def test_sorted_unique_within_space(self):
+        ids = fast_probing_ids(IdSpace(20), 500, rng=3)
+        assert ids == sorted(set(ids))
+        assert 0 <= ids[0] and ids[-1] < 2**20
+
+    def test_deterministic_per_seed(self):
+        a = fast_probing_ids(IdSpace(24), 200, rng=9)
+        b = fast_probing_ids(IdSpace(24), 200, rng=9)
+        c = fast_probing_ids(IdSpace(24), 200, rng=10)
+        assert a == b
+        assert a != c
