@@ -1,0 +1,242 @@
+"""Fleet harness wall-clock: bootstrap and live replay at real-process scale.
+
+The deployment harness (``docs/FLEET.md``) spawns one OS process per node;
+its costs are operational, not algorithmic — interpreter startup, staged
+joins, control-plane round trips, and the real-time dwell of a live
+replay. This benchmark measures, per fleet size:
+
+* **bootstrap seconds** — ``FleetSupervisor.start()`` through
+  ``wait_converged()`` (process spawning + batched joins + ring
+  stabilization);
+* **replay seconds** — a short live fig-9 replay (its floor is
+  ``n_slots x slot_duration`` of genuine wall-clock dwell) plus the
+  sim-twin comparison, with the report's verdict recorded;
+* **teardown seconds** — ``down()`` reaping every process.
+
+Runs two ways:
+
+* under pytest (tier-2 bench suite): ``pytest benchmarks/bench_fleet.py``
+  (n=16; pass ``--large`` for the n=64 acceptance point)
+* standalone for the CI fleet gate::
+
+      python benchmarks/bench_fleet.py --sizes 64 \\
+          --check benchmarks/fleet_threshold.json \\
+          --out BENCH_fleet.json
+
+  With ``--check`` the exit code is non-zero when a size exceeds its
+  bootstrap/replay budget or the comparison report fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.fleet import FleetConfig, FleetSupervisor
+from repro.fleet.compare import compare_fig9, run_fig9_sim_twin
+from repro.fleet.plan import plan_fleet_fig9
+from repro.fleet.replay import replay_fig9_live
+
+RESULT_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_fleet.json"
+THRESHOLD_PATH = pathlib.Path(__file__).parent / "fleet_threshold.json"
+
+#: Replay shape: short, but long enough for several push rounds per slot.
+N_SLOTS = 2
+SLOT_DURATION = 3.0
+PUSH_INTERVAL = 0.5
+
+
+def _config(n_nodes: int, state_dir: str, seed: int) -> FleetConfig:
+    # Timers loosen with scale: n processes share the host, so per-process
+    # CPU shrinks linearly and tight maintenance intervals just thrash.
+    relaxed = n_nodes > 32
+    return FleetConfig(
+        n_nodes=n_nodes,
+        bits=16,
+        seed=seed,
+        join_batch=16,
+        stabilize_interval=0.4 if relaxed else 0.1,
+        fix_fingers_interval=0.2 if relaxed else 0.05,
+        check_predecessor_interval=1.0 if relaxed else 0.25,
+        rpc_timeout=2.0 if relaxed else 0.5,
+        telemetry_interval=2.0,
+        hello_timeout=180.0,
+        call_timeout=60.0,
+        converge_timeout=300.0,
+        state_dir=state_dir,
+    )
+
+
+async def _measure_async(n_nodes: int, seed: int) -> dict[str, object]:
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as state_dir:
+        supervisor = FleetSupervisor(_config(n_nodes, state_dir, seed))
+        start = time.perf_counter()
+        await supervisor.start()
+        converged = await supervisor.wait_converged()
+        bootstrap_seconds = time.perf_counter() - start
+        try:
+            members = supervisor.live_idents()
+            plan = plan_fleet_fig9(
+                seed=seed,
+                n_nodes=len(members),
+                n_slots=N_SLOTS,
+                push_interval=PUSH_INTERVAL,
+                slot_duration=SLOT_DURATION,
+            )
+            start = time.perf_counter()
+            live = await replay_fig9_live(supervisor, plan)
+            sim = run_fig9_sim_twin(members, plan, supervisor.space)
+            report = compare_fig9(live, sim)
+            replay_seconds = time.perf_counter() - start
+        finally:
+            start = time.perf_counter()
+            await supervisor.down()
+            teardown_seconds = time.perf_counter() - start
+    return {
+        "n": n_nodes,
+        "converged": converged,
+        "bootstrap_seconds": round(bootstrap_seconds, 2),
+        "replay_seconds": round(replay_seconds, 2),
+        "teardown_seconds": round(teardown_seconds, 2),
+        "comparison_passed": report.passed,
+        "live_pushes": live.total_pushes,
+        "sim_pushes": sim.total_pushes,
+    }
+
+
+def measure(n_nodes: int, seed: int = 2007) -> dict[str, object]:
+    """One fleet size: boot, converge, replay, compare, tear down."""
+    return asyncio.run(_measure_async(n_nodes, seed))
+
+
+def run_suite(sizes: list[int], seed: int = 2007) -> dict[str, object]:
+    return {
+        "config": {
+            "sizes": sizes,
+            "seed": seed,
+            "n_slots": N_SLOTS,
+            "slot_duration": SLOT_DURATION,
+            "push_interval": PUSH_INTERVAL,
+        },
+        "results": [measure(n, seed=seed) for n in sizes],
+    }
+
+
+def _format(payload: dict[str, object]) -> str:
+    lines = ["Fleet harness — real-process bootstrap and live replay"]
+    lines.append(
+        f"{'n':>5} {'boot_s':>8} {'replay_s':>9} {'down_s':>7} "
+        f"{'conv':>5} {'cmp':>5} {'pushes':>8}"
+    )
+    for row in payload["results"]:  # type: ignore[union-attr]
+        lines.append(
+            f"{row['n']:>5} {row['bootstrap_seconds']:>8} "
+            f"{row['replay_seconds']:>9} {row['teardown_seconds']:>7} "
+            f"{'yes' if row['converged'] else 'NO':>5} "
+            f"{'pass' if row['comparison_passed'] else 'FAIL':>5} "
+            f"{row['live_pushes']:>8}"
+        )
+    return "\n".join(lines)
+
+
+def _check(payload: dict[str, object], threshold_path: pathlib.Path) -> list[str]:
+    """Regression gate: per-size bootstrap/replay budgets + report verdicts."""
+    threshold = json.loads(threshold_path.read_text())
+    boot_budgets = {int(k): float(v) for k, v in threshold["max_bootstrap_seconds"].items()}
+    replay_budgets = {int(k): float(v) for k, v in threshold["max_replay_seconds"].items()}
+    failures: list[str] = []
+    for row in payload["results"]:  # type: ignore[union-attr]
+        n = int(row["n"])  # type: ignore[arg-type]
+        if not row["converged"]:
+            failures.append(f"n={n}: fleet did not converge")
+        budget = boot_budgets.get(n)
+        if budget is not None and float(row["bootstrap_seconds"]) > budget:  # type: ignore[arg-type]
+            failures.append(
+                f"n={n}: bootstrap {row['bootstrap_seconds']}s exceeds budget {budget}s"
+            )
+        budget = replay_budgets.get(n)
+        if budget is not None and float(row["replay_seconds"]) > budget:  # type: ignore[arg-type]
+            failures.append(
+                f"n={n}: replay {row['replay_seconds']}s exceeds budget {budget}s"
+            )
+        if threshold.get("require_comparison_passed", False) and not row["comparison_passed"]:
+            failures.append(f"n={n}: live-vs-sim comparison report failed")
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# pytest entry points (tier-2 bench suite)
+# --------------------------------------------------------------------- #
+
+
+def test_fleet_bootstrap_and_replay_at_16(emit):
+    """A 16-process fleet boots, replays, compares, and tears down in budget."""
+    payload = run_suite([16], seed=2007)
+    RESULT_PATH.parent.mkdir(exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("fleet", _format(payload))
+    (row,) = payload["results"]
+    assert row["converged"] is True
+    assert row["comparison_passed"] is True, row
+
+
+def test_fleet_at_64(emit, large):
+    """The n=64 acceptance point (only with ``--large``; ~minutes)."""
+    if not large:
+        import pytest
+
+        pytest.skip("pass --large to run the 64-process fleet benchmark")
+    payload = run_suite([64], seed=2007)
+    RESULT_PATH.parent.mkdir(exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("fleet", _format(payload))
+    failures = _check(payload, THRESHOLD_PATH)
+    assert not failures, failures
+
+
+# --------------------------------------------------------------------- #
+# Standalone CLI (CI fleet gate)
+# --------------------------------------------------------------------- #
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="64", help="comma-separated fleet sizes")
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument(
+        "--out", default=str(RESULT_PATH), help="where to write the JSON result"
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="threshold JSON: fail on budget or comparison-report regression",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [int(part) for part in args.sizes.split(",") if part]
+    payload = run_suite(sizes, seed=args.seed)
+    print(_format(payload))
+
+    out_path = pathlib.Path(args.out)
+    if out_path.parent != pathlib.Path("."):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        failures = _check(payload, pathlib.Path(args.check))
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+        print("fleet gate: budgets met, comparison reports passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

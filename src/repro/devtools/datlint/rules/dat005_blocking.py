@@ -3,9 +3,10 @@
 The event engine is single-threaded and cooperative: one handler calling
 ``time.sleep`` (or a synchronous socket op) stalls the entire virtual
 timeline and silently converts an event-driven protocol into a serial one.
-Real-time transports (:mod:`repro.sim.udprpc`, :mod:`repro.gma.live`) own
-actual sockets/threads and are exempt; everything else must express delay
-as scheduled events (``transport.schedule``).
+Real-time transports (:mod:`repro.sim.udprpc`, :mod:`repro.gma.live`) and
+the multi-process deployment harness (the :mod:`repro.fleet` package) own
+actual sockets/threads/processes and are exempt; everything else must
+express delay as scheduled events (``transport.schedule``).
 """
 
 from __future__ import annotations
@@ -20,6 +21,10 @@ from repro.devtools.datlint.registry import Rule, register
 
 #: Real-time modules that legitimately block on OS primitives.
 _EXEMPT_MODULES = ("repro.sim.udprpc", "repro.gma.live")
+
+#: Whole packages that are real-time by construction (every module in the
+#: deployment harness drives processes and sockets).
+_EXEMPT_PACKAGES = ("repro.fleet",)
 
 _BLOCKING_CALLS = {
     "time.sleep": "express delays as transport.schedule events",
@@ -45,7 +50,7 @@ class NoBlockingRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if ctx.module_is(*_EXEMPT_MODULES):
+        if ctx.module_is(*_EXEMPT_MODULES) or ctx.module_under(*_EXEMPT_PACKAGES):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):

@@ -26,6 +26,10 @@ from repro.devtools.datlint.registry import ProgramRule, register_program
 #: Real-time modules that legitimately block (mirrors the file rule).
 _EXEMPT_MODULES = ("repro.sim.udprpc", "repro.gma.live")
 
+#: Real-time packages (mirrors the file rule): the deployment harness is
+#: sockets-and-processes by construction.
+_EXEMPT_PACKAGES = ("repro.fleet",)
+
 
 @register_program
 class TransitiveBlockingRule(ProgramRule):
@@ -44,7 +48,11 @@ class TransitiveBlockingRule(ProgramRule):
             fn = program.functions.get(qualname)
             if fn is None:
                 return False
-            return fn.ctx.module_is(*_EXEMPT_MODULES) or fn.ctx.is_output_module
+            return (
+                fn.ctx.module_is(*_EXEMPT_MODULES)
+                or fn.ctx.module_under(*_EXEMPT_PACKAGES)
+                or fn.ctx.is_output_module
+            )
 
         analysis = analyze_blocking(graph, barrier=sanctioned)
         # Direct sites are the file rule's findings; report transitive only.

@@ -71,3 +71,11 @@ class SchemaError(ReproError, ValueError):
 
 class MonitoringError(ReproError):
     """The P-GMA monitoring stack hit an operational error."""
+
+
+class FleetError(ReproError):
+    """The multi-process deployment harness hit an operational error."""
+
+
+class FleetWireError(FleetError, ValueError):
+    """A fleet control-plane frame is malformed."""

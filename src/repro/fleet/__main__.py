@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.fleet`` runs the operator CLI."""
+
+from repro.fleet.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,184 @@
+"""Control-plane wire format shared by the fleet supervisor and agents.
+
+The deployment harness has two planes. The *data* plane is the protocol
+itself — Chord/DAT/MAAN messages over :class:`~repro.sim.udprpc.UdpRpcTransport`
+datagrams, identical to the paper's prototype. The *control* plane is this
+module: newline-delimited JSON frames on a TCP (supervisor <-> agent) or
+Unix (CLI <-> supervisor) stream socket, carrying supervision commands,
+their replies, and unsolicited agent events (hello, telemetry samples,
+lifecycle notices).
+
+Four frame shapes exist, all encoded as one JSON object per line:
+
+* :class:`Hello` — the agent's first frame after connecting: identifier,
+  PID, and the UDP address its transport bound (the supervisor seeds every
+  peer's route book from these).
+* :class:`Request` — a control command (``op`` + ``args``) tagged with a
+  ``req_id`` for correlation.
+* :class:`Reply` — the response to a request: ``ok`` + ``result`` payload,
+  or ``ok=False`` + a human-readable ``error``.
+* :class:`Event` — an unsolicited notification (``telemetry`` samples
+  stream this way, one JSONL record per frame).
+
+This module is pure data — no sockets, no clocks — so both the asyncio
+supervisor and the thread-based agent (and the unit tests) share one
+codec.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.errors import FleetWireError
+
+__all__ = [
+    "Hello",
+    "Request",
+    "Reply",
+    "Event",
+    "Frame",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+]
+
+#: Upper bound on one encoded frame (a status reply for a large fleet fits
+#: comfortably; anything bigger is a protocol bug, not a big fleet).
+MAX_FRAME_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Agent self-introduction: who I am and where my UDP socket lives."""
+
+    ident: int
+    pid: int
+    udp_host: str
+    udp_port: int
+
+
+@dataclass(frozen=True)
+class Request:
+    """One control command addressed to the receiving endpoint."""
+
+    op: str
+    req_id: int
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Reply:
+    """The response to the :class:`Request` with the same ``req_id``."""
+
+    req_id: int
+    ok: bool
+    result: dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class Event:
+    """An unsolicited agent -> supervisor notification."""
+
+    name: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+Frame = Union[Hello, Request, Reply, Event]
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame to one newline-terminated JSON line."""
+    obj: dict[str, Any]
+    if isinstance(frame, Hello):
+        obj = {
+            "hello": {
+                "ident": frame.ident,
+                "pid": frame.pid,
+                "udp_host": frame.udp_host,
+                "udp_port": frame.udp_port,
+            }
+        }
+    elif isinstance(frame, Request):
+        obj = {"op": frame.op, "req_id": frame.req_id, "args": frame.args}
+    elif isinstance(frame, Reply):
+        obj = {"req_id": frame.req_id, "ok": frame.ok, "result": frame.result}
+        if frame.error:
+            obj["error"] = frame.error
+    elif isinstance(frame, Event):
+        obj = {"event": frame.name, "data": frame.data}
+    else:  # pragma: no cover - exhaustive over the union
+        raise FleetWireError(f"not a control frame: {frame!r}")
+    try:
+        data = json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+    except (TypeError, ValueError) as exc:
+        raise FleetWireError(f"frame is not JSON-serializable: {exc}") from exc
+    if len(data) > MAX_FRAME_BYTES:
+        raise FleetWireError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte budget"
+        )
+    return data
+
+
+def _require(obj: dict[str, Any], key: str, kinds: tuple[type, ...]) -> Any:
+    try:
+        value = obj[key]
+    except KeyError:
+        raise FleetWireError(f"frame missing required field {key!r}") from None
+    if not isinstance(value, kinds):
+        raise FleetWireError(
+            f"frame field {key!r} has type {type(value).__name__}, "
+            f"expected {'/'.join(k.__name__ for k in kinds)}"
+        )
+    return value
+
+
+def decode_frame(data: bytes | str) -> Frame:
+    """Parse one line back into a frame; raises :class:`FleetWireError`."""
+    if isinstance(data, bytes):
+        if len(data) > MAX_FRAME_BYTES:
+            raise FleetWireError(
+                f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte budget"
+            )
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FleetWireError(f"frame is not valid UTF-8: {exc}") from exc
+    else:
+        text = data
+    try:
+        obj = json.loads(text)
+    except ValueError as exc:
+        raise FleetWireError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FleetWireError(f"frame must be a JSON object, got {type(obj).__name__}")
+
+    if "hello" in obj:
+        hello = _require(obj, "hello", (dict,))
+        return Hello(
+            ident=int(_require(hello, "ident", (int,))),
+            pid=int(_require(hello, "pid", (int,))),
+            udp_host=str(_require(hello, "udp_host", (str,))),
+            udp_port=int(_require(hello, "udp_port", (int,))),
+        )
+    if "event" in obj:
+        return Event(
+            name=str(_require(obj, "event", (str,))),
+            data=dict(obj.get("data") or {}),
+        )
+    if "op" in obj:
+        return Request(
+            op=str(_require(obj, "op", (str,))),
+            req_id=int(_require(obj, "req_id", (int,))),
+            args=dict(obj.get("args") or {}),
+        )
+    if "req_id" in obj:
+        return Reply(
+            req_id=int(_require(obj, "req_id", (int,))),
+            ok=bool(_require(obj, "ok", (bool,))),
+            result=dict(obj.get("result") or {}),
+            error=str(obj.get("error") or ""),
+        )
+    raise FleetWireError(f"unrecognized frame shape: {sorted(obj)}")

@@ -177,6 +177,23 @@ class Transport(ABC):
             self._pending.pop(msg_id).cancel()
         return len(stale)
 
+    def cancel_all_calls(self) -> int:
+        """Cancel every pending call, whoever originated it.
+
+        Transport-wide teardown path: each entry is cancelled exactly the
+        way :meth:`unregister` cancels a single node's calls (the deadline
+        timer is revoked, neither continuation fires), so closing a
+        transport with calls in flight cannot leak timers or resurrect
+        callbacks after the substrate is gone. Returns the number of calls
+        cancelled.
+        """
+        count = len(self._pending)
+        for msg_id in list(self._pending):
+            entry = self._pending.pop(msg_id, None)
+            if entry is not None:
+                entry.cancel()
+        return count
+
     def _dispatch(self, message: Message) -> None:
         """Route an arriving message to a pending call or a node handler.
 

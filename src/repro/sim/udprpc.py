@@ -94,13 +94,22 @@ class UdpRpcTransport(Transport):
         self.close()
 
     def close(self) -> None:
-        """Stop the receive loop, cancel timers, and close all sockets."""
+        """Stop the receive loop, cancel pending calls and timers, close sockets.
+
+        Calls still in flight are cancelled through the same path
+        :meth:`Transport.unregister` uses (:meth:`Transport.cancel_all_calls`):
+        each pending entry's deadline timer is revoked and neither its reply
+        nor its timeout continuation ever fires. Only then are the remaining
+        maintenance timers cancelled and the sockets/selector released, so no
+        stray selector or timer callback can run after ``close()`` returns.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
         self._wakeup()
         self._thread.join(timeout=2.0)
+        self.cancel_all_calls()
         with self._lock:
             for timer in list(self._timers):
                 timer.cancel()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -19,9 +19,17 @@ from repro.util.rng import ensure_rng
 from repro.util.validation import check_non_negative, check_positive
 
 if TYPE_CHECKING:
+    from repro.chord.idspace import IdSpace
     from repro.chord.incremental import DatUpdateEngine, DatUpdateReport
 
-__all__ = ["ChurnKind", "ChurnEvent", "ChurnWorkload", "replay_churn"]
+__all__ = [
+    "ChurnKind",
+    "ChurnEvent",
+    "ChurnWorkload",
+    "PlannedChurnEvent",
+    "plan_churn",
+    "replay_churn",
+]
 
 
 class ChurnKind(str, Enum):
@@ -103,6 +111,61 @@ class ChurnWorkload:
         return (self.join_rate + self.leave_rate) * self.duration
 
 
+@dataclass(frozen=True)
+class PlannedChurnEvent:
+    """One membership change resolved onto a concrete identity."""
+
+    time: float
+    kind: ChurnKind
+    ident: int
+
+
+def plan_churn(
+    events: Iterable[ChurnEvent],
+    space: IdSpace,
+    initial_members: Sequence[int],
+    seed: int | np.random.Generator | None = None,
+    min_nodes: int = 2,
+) -> list[PlannedChurnEvent]:
+    """Resolve a kind-only churn schedule onto concrete identities — purely.
+
+    :class:`ChurnEvent` carries only a kind; resolving *who* joins or
+    departs needs the evolving membership, which this planner simulates as
+    a plain sorted set: joins pick an unused random identifier, departures
+    a random current member (indexed into the sorted membership), and
+    departures that would shrink the ring below ``min_nodes`` are dropped
+    without consuming randomness. The RNG consumption is exactly the
+    sequence :func:`replay_churn` historically performed against the live
+    engine ring, so the same ``(seed, schedule)`` produces the identical
+    event sequence whether it is applied in-sim (``replay_churn``) or
+    shipped to a real process fleet (:mod:`repro.fleet.replay`) — the
+    cross-substrate determinism contract the fleet comparison report
+    relies on.
+    """
+    rng = ensure_rng(seed)
+    members: list[int] | None = sorted(int(m) for m in initial_members)
+    member_set = set(members)
+    plan: list[PlannedChurnEvent] = []
+    for event in events:
+        if event.kind is ChurnKind.JOIN:
+            candidate = int(rng.integers(0, space.size))
+            while candidate in member_set:
+                candidate = int(rng.integers(0, space.size))
+            plan.append(PlannedChurnEvent(event.time, event.kind, candidate))
+            member_set.add(candidate)
+            members = None  # sorted view invalidated lazily
+        else:
+            if len(member_set) <= min_nodes:
+                continue
+            if members is None:
+                members = sorted(member_set)
+            victim = members[int(rng.integers(0, len(members)))]
+            plan.append(PlannedChurnEvent(event.time, event.kind, victim))
+            member_set.discard(victim)
+            members = None
+    return plan
+
+
 def replay_churn(
     engine: DatUpdateEngine,
     events: Iterable[ChurnEvent],
@@ -111,9 +174,8 @@ def replay_churn(
 ) -> list[DatUpdateReport]:
     """Replay a churn schedule against an incremental maintenance engine.
 
-    :class:`ChurnEvent` carries only a kind — this resolves each event onto
-    a concrete identity (joins pick an unused random identifier, departures
-    a random current member) and applies it through
+    Identity resolution is delegated to :func:`plan_churn` (same seed, same
+    sequence), then each planned event is applied through
     :meth:`~repro.chord.incremental.DatUpdateEngine.apply`, so the engine's
     ring, finger state, and every tracked tree stay current at O(log n)
     expected cost per event. Departures that would shrink the ring below
@@ -122,25 +184,18 @@ def replay_churn(
     Returns the per-event :class:`~repro.chord.incremental.DatUpdateReport`
     list (one entry per event actually applied).
     """
-    rng = ensure_rng(seed)
+    schedule = list(events)
+    plan = plan_churn(
+        schedule,
+        engine.ring.space,
+        engine.ring.nodes,
+        seed=seed,
+        min_nodes=min_nodes,
+    )
     reports: list[DatUpdateReport] = []
-    skipped = 0
     with telemetry.span("churn.replay", min_nodes=min_nodes) as sp:
-        for event in events:
-            ring = engine.ring
-            kind = event.kind.value
-            if event.kind is ChurnKind.JOIN:
-                candidate = int(rng.integers(0, ring.space.size))
-                while candidate in ring:
-                    candidate = int(rng.integers(0, ring.space.size))
-                reports.append(engine.apply(kind, candidate))
-            else:
-                if len(ring) <= min_nodes:
-                    skipped += 1
-                    continue
-                nodes = ring.nodes
-                victim = nodes[int(rng.integers(0, len(nodes)))]
-                reports.append(engine.apply(kind, victim))
+        for planned in plan:
+            reports.append(engine.apply(planned.kind.value, planned.ident))
         if sp is not telemetry.NULL_SPAN:
-            sp.set(applied=len(reports), skipped=skipped)
+            sp.set(applied=len(reports), skipped=len(schedule) - len(plan))
     return reports

@@ -1,0 +1,117 @@
+"""The sim twin and the comparison report, without any live fleet.
+
+The twin runs on the DES transport in virtual time, so these are fast and
+fully deterministic; live results are synthesized to exercise the report's
+pass/fail logic on both sides of each tolerance.
+"""
+
+import json
+
+from repro.chord.idgen import make_assigner
+from repro.chord.idspace import IdSpace
+from repro.fleet.compare import Fig9SimResult, compare_fig9, run_fig9_sim_twin
+from repro.fleet.plan import plan_fleet_fig9
+from repro.fleet.replay import Fig9LiveResult
+
+SPACE = IdSpace(16)
+SEED = 2007
+
+
+def members(n=8):
+    return list(make_assigner("probing").build_ring(SPACE, n, rng=SEED).nodes)
+
+
+def twin(n=8, slots=2):
+    plan = plan_fleet_fig9(seed=SEED, n_nodes=n, n_slots=slots)
+    return plan, run_fig9_sim_twin(members(n), plan, SPACE)
+
+
+class TestSimTwin:
+    def test_twin_is_exact_for_identical_traces(self):
+        _plan, sim = twin()
+        # Virtual time has no scheduling jitter: after the first dwell the
+        # root's estimate equals ground truth in every slot.
+        for truth, estimate in zip(sim.actual, sim.aggregated):
+            assert abs(estimate - truth) <= 1e-9 * max(abs(truth), 1.0)
+
+    def test_twin_is_deterministic(self):
+        _p1, a = twin()
+        _p2, b = twin()
+        assert a.aggregated == b.aggregated
+        assert a.total_pushes == b.total_pushes
+        assert a.total_messages == b.total_messages
+        assert a.imbalance == b.imbalance
+
+    def test_twin_counts_traffic(self):
+        _plan, sim = twin()
+        assert sim.total_pushes > 0
+        assert sim.total_messages >= sim.total_pushes
+        assert sim.imbalance >= 1.0  # the root always carries the most
+
+
+def live_like(sim: Fig9SimResult, plan, **overrides) -> Fig9LiveResult:
+    """A live result that mirrors the twin, with targeted deviations."""
+    live = Fig9LiveResult(plan=plan, root=sim.root, key=sim.key)
+    live.actual = list(sim.actual)
+    live.aggregated = list(overrides.get("aggregated", sim.aggregated))
+    live.total_pushes = overrides.get("total_pushes", sim.total_pushes)
+    # Mild, realistic per-node loads: root slightly hotter.
+    base = {ident: 10 for ident in members()}
+    base[sim.root] = overrides.get("root_load", 14)
+    live.per_node_sent = base
+    live.per_node_received = dict(base)
+    return live
+
+
+class TestComparisonReport:
+    def test_passes_when_live_matches_twin(self):
+        plan, sim = twin()
+        report = compare_fig9(live_like(sim, plan), sim)
+        assert report.passed, report.render_text()
+
+    def test_fails_on_bad_accuracy(self):
+        plan, sim = twin()
+        live = live_like(sim, plan, aggregated=[v * 0.5 for v in sim.aggregated])
+        report = compare_fig9(live, sim)
+        assert not report.passed
+        failed = {c.name for c in report.checks if not c.ok}
+        assert "live_accuracy" in failed
+
+    def test_fails_on_push_volume_collapse(self):
+        plan, sim = twin()
+        live = live_like(sim, plan, total_pushes=sim.total_pushes // 10)
+        report = compare_fig9(live, sim)
+        assert {c.name for c in report.checks if not c.ok} == {"push_volume"}
+
+    def test_fails_on_runaway_imbalance(self):
+        plan, sim = twin()
+        live = live_like(sim, plan, root_load=100000)
+        report = compare_fig9(live, sim)
+        assert "load_imbalance" in {c.name for c in report.checks if not c.ok}
+
+    def test_warmup_slot_excluded_from_accuracy(self):
+        plan, sim = twin(slots=3)
+        # Garbage in slot 0 only: warm-up, must not fail the check.
+        aggregated = list(sim.aggregated)
+        aggregated[0] = 0.0
+        report = compare_fig9(live_like(sim, plan, aggregated=aggregated), sim)
+        assert report.passed, report.render_text()
+
+    def test_json_round_trips(self):
+        plan, sim = twin()
+        report = compare_fig9(live_like(sim, plan), sim)
+        payload = json.loads(report.to_json())
+        assert payload["passed"] is True
+        assert {c["name"] for c in payload["checks"]} == {
+            "same_root",
+            "live_accuracy",
+            "sim_accuracy",
+            "push_volume",
+            "load_imbalance",
+        }
+        assert "tolerances" in payload
+
+    def test_render_text_verdict(self):
+        plan, sim = twin()
+        text = compare_fig9(live_like(sim, plan), sim).render_text()
+        assert "verdict: PASS" in text

@@ -1,0 +1,78 @@
+"""Unit tests for the fleet control-plane codec (pure, no sockets)."""
+
+import json
+
+import pytest
+
+from repro.errors import FleetWireError
+from repro.fleet.wire import (
+    MAX_FRAME_BYTES,
+    Event,
+    Hello,
+    Reply,
+    Request,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            Hello(ident=42, pid=1234, udp_host="127.0.0.1", udp_port=54321),
+            Request(op="status", req_id=7),
+            Request(op="join", req_id=8, args={"bootstrap": 9374, "timeout": 5.0}),
+            Reply(req_id=7, ok=True, result={"successor": 25758}),
+            Reply(req_id=8, ok=False, error="agent 3 is not running"),
+            Event(name="telemetry", data={"sent": 10, "estimates": {"0": 1.5}}),
+        ],
+    )
+    def test_encode_decode_identity(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_one_line_per_frame(self):
+        data = encode_frame(Request(op="ping", req_id=1))
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+
+    def test_decode_accepts_str(self):
+        line = encode_frame(Event(name="x")).decode("utf-8")
+        assert decode_frame(line) == Event(name="x")
+
+    def test_reply_error_omitted_when_empty(self):
+        obj = json.loads(encode_frame(Reply(req_id=1, ok=True)))
+        assert "error" not in obj
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json\n",
+            b"[1, 2, 3]\n",
+            b'{"neither": "fish", "nor": "fowl"}\n',
+            b'{"op": "x"}\n',  # request without req_id
+            b'{"req_id": 1}\n',  # reply without ok
+            b'{"hello": {"ident": 1}}\n',  # hello missing fields
+            b'{"op": 42, "req_id": 1}\n',  # op wrong type
+            b'{"hello": {"ident": "x", "pid": 1, "udp_host": "h", "udp_port": 1}}\n',
+            b"\xff\xfe\n",  # not UTF-8
+        ],
+    )
+    def test_rejected(self, line):
+        with pytest.raises(FleetWireError):
+            decode_frame(line)
+
+    def test_oversized_frame_rejected_on_encode(self):
+        huge = Event(name="blob", data={"x": "a" * MAX_FRAME_BYTES})
+        with pytest.raises(FleetWireError):
+            encode_frame(huge)
+
+    def test_oversized_frame_rejected_on_decode(self):
+        with pytest.raises(FleetWireError):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_unserializable_payload_rejected(self):
+        with pytest.raises(FleetWireError):
+            encode_frame(Event(name="bad", data={"obj": object()}))

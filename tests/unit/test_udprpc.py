@@ -279,6 +279,43 @@ class TestLifecycle:
         transport.close()
         transport.close()
 
+    def test_close_cancels_pending_calls(self):
+        # Regression: close() used to cancel the raw timer objects but left
+        # the pending-call table populated — the teardown path must cancel
+        # in-flight calls exactly like Transport.unregister does, so neither
+        # continuation fires and no timer survives the transport.
+        transport = UdpRpcTransport()
+        transport.register(1, lambda m: None)
+        outcome: list[str] = []
+        request = Message(kind="q", source=1, destination=999)  # unroutable
+        transport.call(
+            request,
+            lambda reply: outcome.append("reply"),
+            on_timeout=lambda msg: outcome.append("timeout"),
+            timeout=0.2,
+        )
+        assert transport.pending_calls() == 1
+        transport.close()
+        assert transport.pending_calls() == 0
+        assert not transport._timers
+        time.sleep(0.3)  # past the call deadline: the expiry must not fire
+        assert outcome == []
+
+    def test_close_with_pending_call_cancels_via_unregister_path(self):
+        # The cancelled entry's timer is removed through the same canceller
+        # unregister uses, so repeated close()/cancel interleavings stay
+        # idempotent.
+        transport = UdpRpcTransport()
+        transport.register(1, lambda m: None)
+        transport.call(
+            Message(kind="q", source=1, destination=999),
+            lambda reply: None,
+            timeout=30.0,
+        )
+        assert transport.cancel_all_calls() == 1  # manual cancel first
+        transport.close()  # close finds nothing left to cancel
+        assert transport.pending_calls() == 0
+
     def test_register_after_close_rejected(self):
         transport = UdpRpcTransport()
         transport.close()
