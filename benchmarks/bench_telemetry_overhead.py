@@ -117,6 +117,8 @@ def measure(
     noop_us = _noop_path_us(ring, rounds)
     with telemetry.enabled():
         enabled_us = _best_sweep_us(builder_sweep, rounds)
+    with telemetry.enabled(tracing=True):
+        tracing_us = _best_sweep_us(builder_sweep, rounds)
     telemetry.disable()
 
     overhead = noop_us / build_us
@@ -128,8 +130,12 @@ def measure(
         "build_us_per_build": round(build_us, 2),
         "noop_us_per_call": round(noop_us, 4),
         "enabled_us_per_build": round(enabled_us, 2),
+        "tracing_us_per_build": round(tracing_us, 2),
         "disabled_overhead": round(overhead, 5),
         "enabled_overhead": round(enabled_us / build_us - 1.0, 4),
+        # Marginal cost of trace propagation over plain span-enabled mode:
+        # trace-id minting + context inheritance per span.
+        "tracing_overhead": round(tracing_us / enabled_us - 1.0, 4),
     }
 
 
@@ -144,16 +150,19 @@ def _format(row: dict[str, object]) -> str:
             f"({float(str(row['disabled_overhead'])) * 100:.3f}% of the build)",
             f"  telemetry enabled:                  {row['enabled_us_per_build']:>9} us/build "
             f"({float(str(row['enabled_overhead'])) * 100:+.2f}%)",
+            f"  tracing enabled:                    {row['tracing_us_per_build']:>9} us/build "
+            f"({float(str(row['tracing_overhead'])) * 100:+.2f}% over span-enabled)",
         ]
     )
 
 
-def _thresholds(path: pathlib.Path = THRESHOLD_PATH) -> tuple[float, float]:
-    """(max_disabled_overhead, max_enabled_overhead) from the gate file."""
+def _thresholds(path: pathlib.Path = THRESHOLD_PATH) -> tuple[float, float, float]:
+    """(max_disabled, max_enabled, max_tracing) overheads from the gate file."""
     data = json.loads(path.read_text())
     return (
         float(data["max_disabled_overhead"]),
         float(data["max_enabled_overhead"]),
+        float(data["max_tracing_overhead"]),
     )
 
 
@@ -167,9 +176,10 @@ def test_overheads_under_thresholds(emit):
     RESULT_PATH.parent.mkdir(exist_ok=True)
     RESULT_PATH.write_text(json.dumps(row, indent=2) + "\n")
     emit("telemetry_overhead", _format(row))
-    max_disabled, max_enabled = _thresholds()
+    max_disabled, max_enabled, max_tracing = _thresholds()
     assert float(str(row["disabled_overhead"])) <= max_disabled, row
     assert float(str(row["enabled_overhead"])) <= max_enabled, row
+    assert float(str(row["tracing_overhead"])) <= max_tracing, row
 
 
 # --------------------------------------------------------------------- #
@@ -204,13 +214,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {out_path}")
 
     if args.check:
-        max_disabled, max_enabled = _thresholds(pathlib.Path(args.check))
+        max_disabled, max_enabled, max_tracing = _thresholds(pathlib.Path(args.check))
         disabled = float(str(row["disabled_overhead"]))
         enabled = float(str(row["enabled_overhead"]))
+        tracing = float(str(row["tracing_overhead"]))
         print(
             f"overhead check: disabled-mode {disabled * 100:.3f}% "
             f"(limit {max_disabled * 100:.0f}%), enabled-mode "
-            f"{enabled * 100:+.2f}% (limit {max_enabled * 100:.0f}%)"
+            f"{enabled * 100:+.2f}% (limit {max_enabled * 100:.0f}%), "
+            f"tracing {tracing * 100:+.2f}% over span-enabled "
+            f"(limit {max_tracing * 100:.0f}%)"
         )
         failed = False
         if disabled > max_disabled:
@@ -218,6 +231,9 @@ def main(argv: list[str] | None = None) -> int:
             failed = True
         if enabled > max_enabled:
             print("FAIL: enabled-mode telemetry overhead regressed past threshold")
+            failed = True
+        if tracing > max_tracing:
+            print("FAIL: trace-propagation overhead regressed past threshold")
             failed = True
         if failed:
             return 1

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.chord.fingers import FingerTable
 from repro.chord.idspace import IdSpace
 from repro.errors import RoutingError
@@ -285,11 +286,19 @@ class ChordProtocolNode:
         # answers the *original* request id (``reply_to=token``) and the
         # session layer's pending table correlates it like any other reply.
         message.payload["token"] = message.msg_id
+        span = (
+            telemetry.span("chord.lookup", node=self.ident, key=key)
+            if telemetry.tracing_enabled()
+            else telemetry.NULL_SPAN
+        )
+        span.propagate(message)
 
         def deliver(reply: Message) -> None:
+            span.finish(hops=max(len(reply.payload["path"]) - 1, 0))
             on_result(reply.payload["result"], list(reply.payload["path"]))
 
         def fail(_request: Message) -> None:
+            span.finish(failed=True)
             if on_failure is not None:
                 on_failure(key)
 
@@ -302,6 +311,7 @@ class ChordProtocolNode:
             ),
             send=self._forward_lookup if first_hop == self.ident else None,
         )
+        span.detach()
 
     def _forward_lookup(self, message: Message) -> None:
         payload = message.payload
@@ -310,25 +320,33 @@ class ChordProtocolNode:
         path = list(payload["path"]) + [self.ident]
         if hops > self.config.max_lookup_hops:
             return  # abandoned; origin's deadline fires
-        if self._owns_key_successor(key):
-            # key == self.ident -> successor(key) is this node itself;
-            # otherwise key in (self, successor] -> it's our successor.
-            result = self.ident if key == self.ident else self.successor
-            self._send_lookup_result(payload, result, path)
-            return
-        next_hop = self.finger_table().closest_preceding(key)
-        if next_hop is None or next_hop == self.ident:
-            # All fingers overshoot: the key's successor is our successor.
-            self._send_lookup_result(payload, self.successor, path)
-            return
-        self.net.send(
-            Message(
+        # Each hop is a span joined to the origin's trace; the forwarded
+        # message (and the terminal result, via the send path's automatic
+        # threading) continues from *this* hop, not the origin.
+        with telemetry.remote_span(
+            message, "chord.lookup_hop", node=self.ident, key=key, hops=hops
+        ) as hop:
+            if self._owns_key_successor(key):
+                # key == self.ident -> successor(key) is this node itself;
+                # otherwise key in (self, successor] -> it's our successor.
+                result = self.ident if key == self.ident else self.successor
+                self._send_lookup_result(payload, result, path)
+                return
+            next_hop = self.finger_table().closest_preceding(key)
+            if next_hop is None or next_hop == self.ident:
+                # All fingers overshoot: the key's successor is our successor.
+                self._send_lookup_result(payload, self.successor, path)
+                return
+            forward = Message(
                 kind="lookup",
                 source=self.ident,
                 destination=next_hop,
                 payload={**payload, "hops": hops + 1, "path": path},
             )
-        )
+            # The copied payload still carries the *incoming* context;
+            # replace it so the next hop chains under this one.
+            hop.propagate(forward)
+            self.net.send(forward)
 
     def _owns_key_successor(self, key: int) -> bool:
         """True when this node can terminate the lookup locally."""

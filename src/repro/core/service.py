@@ -364,24 +364,36 @@ class DatNodeService:
         # layer enforces it when the transport actually serializes.
         # Pushes ride the batcher: with a zero window (default) this is an
         # immediate send; with a window, same-parent pushes coalesce.
-        self._batcher.enqueue(
-            Message(
-                kind="agg_push",
-                source=self.ident,
-                destination=parent,
-                payload={"key": key, "state": _encode_state(merged)},
-            )
+        push = Message(
+            kind="agg_push",
+            source=self.ident,
+            destination=parent,
+            payload={"key": key, "state": _encode_state(merged)},
         )
+        if telemetry.tracing_enabled():
+            # Each push roots its own trace — even under an ambient
+            # harness span (an experiment phase) — and the receiver's
+            # handler span joins it, so one push climbing one hop is a
+            # rooted two-span causal tree. Batched pushes keep their
+            # individual contexts.
+            with telemetry.trace_span(
+                "dat.push", node=self.ident, key=key, to=parent
+            ) as sp:
+                sp.propagate(push)
+        self._batcher.enqueue(push)
 
     def _on_push(self, message: Message) -> None:
         key = message.payload["key"]
         state = self._continuous.get(key)
         if state is None:
             return  # not participating (yet): drop
-        state.child_states[message.source] = (
-            self.host.transport.now(),
-            _decode_state(message.payload["state"], state.aggregate),
-        )
+        with telemetry.remote_span(
+            message, "dat.push_recv", node=self.ident, key=key, child=message.source
+        ):
+            state.child_states[message.source] = (
+                self.host.transport.now(),
+                _decode_state(message.payload["state"], state.aggregate),
+            )
         return None
 
     def root_estimate(self, key: int) -> Any:
@@ -429,13 +441,17 @@ class DatNodeService:
             on_result=on_result,
             expected=set(children),
         )
-        state.span = telemetry.span(
+        # The round roots its own trace (trace_span, not span): like
+        # dat.push, a collect round is a causal unit of the protocol, not
+        # of whatever harness span happens to be open at the call site.
+        round_span = telemetry.trace_span(
             "dat.collect",
             node=self.ident,
             key=key,
             round_id=round_id,
             n_children=len(children),
         )
+        state.span = round_span
         state.states.append(agg.lift(self.value_provider()))
 
         def done(replies: dict[int, Message], failed: list[Message]) -> None:
@@ -462,6 +478,10 @@ class DatNodeService:
             done,
             policy=self.retry_policy,
         )
+        # The round's span finishes in ``done``; detach so spans started
+        # later on this thread (other nodes' handlers, in the DES) don't
+        # nest under it. The gather's requests already carry its context.
+        round_span.detach()
 
     def _collect_request(
         self, child: int, key: int, root: int, round_id: int, aggregate: Aggregate
@@ -486,6 +506,15 @@ class DatNodeService:
         # the cached partial (or lets the in-flight gather answer it).
         if not self._responder.begin((message.source, key, round_id), message):
             return None
+        # The hop's span joins the requester's trace; the responder owns
+        # its lifecycle from here (complete() threads its context into the
+        # reply and finishes it — deferred replies rejoin their trace).
+        hop_span = self._responder.adopt(
+            (message.source, key, round_id),
+            telemetry.remote_span(
+                message, "dat.collect_hop", node=self.ident, key=key, round_id=round_id
+            ),
+        )
         aggregate = get_aggregate(payload["aggregate"])
         children = (
             self.children_resolver(key, root) if self.children_resolver else []
@@ -508,6 +537,7 @@ class DatNodeService:
             done,
             policy=self.retry_policy,
         )
+        hop_span.detach()
         return None
 
     def _complete_collect(

@@ -206,12 +206,17 @@ class FileContext:
 
         CLI entry points (``cli``/``__main__`` modules), the experiment
         harnesses, the text renderer :mod:`repro.viz`, devtools (this
-        linter's own CLI prints its report), and the telemetry report CLI
-        (``python -m repro.telemetry.report`` prints summary tables).
+        linter's own CLI prints its report), and the report/assembly CLIs
+        (``python -m repro.telemetry.report`` / ``.traces`` /
+        ``repro.fleet.report`` print summary tables).
         """
         last = self.module.rsplit(".", 1)[-1]
         return (
             last in ("cli", "__main__", "viz")
-            or self.module_is("repro.telemetry.report")
+            or self.module_is(
+                "repro.telemetry.report",
+                "repro.telemetry.traces",
+                "repro.fleet.report",
+            )
             or self.module_under("repro.experiments", "repro.devtools")
         )

@@ -19,6 +19,7 @@ from repro.devtools.datlint.rules import (  # noqa: F401  (import-for-effect)
     dat010_lock_discipline,
     dat011_lifecycle,
     dat012_unordered_iter,
+    dat014_untraced_forward,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "dat010_lock_discipline",
     "dat011_lifecycle",
     "dat012_unordered_iter",
+    "dat014_untraced_forward",
 ]

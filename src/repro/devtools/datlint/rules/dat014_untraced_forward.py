@@ -1,0 +1,122 @@
+"""DAT014 — multi-hop forwards must re-thread the trace context.
+
+A forwarding hop typically builds the next request as ``Message(...,
+payload={**payload, ...})`` — copying the incoming payload and amending
+it. That copy carries the *stale* ``"_trace"`` context of the previous
+hop, and because the session layer's automatic propagation is
+fill-only-if-absent (:func:`repro.telemetry.propagate_current` never
+overwrites), the stale context survives all the way to the export: the
+hop chain collapses into a flat fan-out under the first hop and per-hop
+latency attribution is lost.
+
+A forwarding function must therefore overwrite the copied context
+explicitly — open a hop span (``telemetry.remote_span(message, ...)``)
+and stamp the forward with ``span.propagate(forward)`` — or construct a
+fresh payload and manage ``"_trace"`` itself. This rule flags
+``Message(...)`` constructions whose payload is a dict display containing
+a ``**`` spread (the forward-by-copy pattern) inside functions that
+neither call ``.propagate(...)`` nor reference the trace key.
+
+Scoped to the protocol packages (``repro.chord``, ``repro.core``,
+``repro.maan``, ``repro.gma``) — infrastructure layers carry contexts
+opaquely and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.datlint.context import FileContext
+from repro.devtools.datlint.diagnostics import Diagnostic
+from repro.devtools.datlint.registry import Rule, register
+
+#: Packages whose request construction must thread trace context.
+_PROTOCOL_PACKAGES = ("repro.chord", "repro.core", "repro.maan", "repro.gma")
+
+#: The payload key the trace context travels under (spans.TRACE_KEY).
+_TRACE_KEY = "_trace"
+
+#: Positional index of ``payload`` in ``Message(kind, source, destination,
+#: payload, ...)``.
+_PAYLOAD_ARG_INDEX = 3
+
+
+def _payload_argument(call: ast.Call) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == "payload":
+            return keyword.value
+    if len(call.args) > _PAYLOAD_ARG_INDEX:
+        return call.args[_PAYLOAD_ARG_INDEX]
+    return None
+
+
+def _is_forward_payload(expr: ast.expr | None) -> bool:
+    """A dict display with a ``**`` spread: ``{**payload, ...}``."""
+    return isinstance(expr, ast.Dict) and any(key is None for key in expr.keys)
+
+
+def _threads_context(func: ast.AST) -> bool:
+    """Whether the function re-threads trace context anywhere in its body.
+
+    Either an explicit ``<span>.propagate(...)`` call (the hop-span
+    pattern) or any reference to the ``"_trace"`` payload key /
+    ``TRACE_KEY`` name (hand-managed context) counts.
+    """
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "propagate"
+        ):
+            return True
+        if isinstance(node, ast.Constant) and node.value == _TRACE_KEY:
+            return True
+        if isinstance(node, ast.Name) and node.id == "TRACE_KEY":
+            return True
+    return False
+
+
+@register
+class UntracedForwardRule(Rule):
+    code = "DAT014"
+    name = "untraced-forward"
+    rationale = (
+        "A forwarded Message built from {**payload, ...} copies the "
+        "previous hop's \"_trace\" context, and automatic propagation "
+        "never overwrites — the trace's hop chain flattens. Open a hop "
+        "span with telemetry.remote_span(message, ...) and stamp the "
+        "forward with span.propagate(forward)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.module_under(*_PROTOCOL_PACKAGES):
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            threaded: bool | None = None  # computed lazily, once per function
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute) else ""
+                )
+                if name != "Message":
+                    continue
+                if not _is_forward_payload(_payload_argument(node)):
+                    continue
+                if threaded is None:
+                    threaded = _threads_context(func)
+                if threaded:
+                    continue
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "multi-hop forward copies the incoming payload (and its "
+                    'stale "_trace" context) without re-threading: stamp the '
+                    "forwarded message via a hop span's .propagate(...)",
+                )

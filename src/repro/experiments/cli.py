@@ -203,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and stream the JSONL event pipeline here",
     )
     parser.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        help=(
+            "enable distributed tracing and stream span JSONL here; "
+            "assemble with python -m repro.telemetry.traces PATH"
+        ),
+    )
+    parser.add_argument(
         "--telemetry-prom",
         metavar="PATH",
         help="enable telemetry and write the Prometheus text export here",
@@ -238,11 +246,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     live = None
-    if args.telemetry_jsonl or args.telemetry_prom:
+    if args.telemetry_jsonl or args.telemetry_prom or args.trace_jsonl:
         overrides: dict[str, object] = {
             "enabled": True,
             "sample_window": args.telemetry_sample_window,
         }
+        if args.trace_jsonl:
+            overrides["tracing"] = True
         if args.telemetry_chunk_size is not None:
             overrides["span_chunk_size"] = args.telemetry_chunk_size
         if args.telemetry_sample_every is not None:
@@ -251,7 +261,7 @@ def main(argv: list[str] | None = None) -> int:
         assert tel is not None
         live = telemetry.LiveExport(
             tel,
-            jsonl_path=args.telemetry_jsonl,
+            jsonl_path=args.telemetry_jsonl or args.trace_jsonl,
             prom_path=args.telemetry_prom,
         )
     try:

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.chord.idspace import IdSpace
 from repro.chord.node import ChordConfig, ChordProtocolNode
 from repro.core.service import DatNodeService
@@ -68,6 +69,10 @@ class AgentOptions:
     #: Initial fleet-size hint for the balanced scheme's mean-gap estimate;
     #: refreshed by every ``add_routes`` broadcast.
     n_hint: int = 1
+    #: When set, the agent enables distributed tracing (site = its ident)
+    #: and streams its span export to this JSONL path; the supervisor
+    #: aligns the per-agent clocks via the ``Hello.clock`` handshake.
+    span_jsonl: str | None = None
 
     def chord_config(self) -> ChordConfig:
         return ChordConfig(
@@ -89,6 +94,24 @@ class FleetAgent:
     def __init__(self, options: AgentOptions) -> None:
         self.options = options
         self.space = IdSpace(options.bits)
+        # Tracing must be configured before the transport exists: the
+        # transport binds the telemetry clock (monotonic offset from its
+        # birth) at construction, and that clock reading is what the Hello
+        # handshake reports for fleet-wide alignment.
+        self._live_export: telemetry.LiveExport | None = None
+        self._owns_telemetry = False
+        if options.span_jsonl:
+            tel = telemetry.configure(
+                enabled=True,
+                tracing=True,
+                allow_wall_clock=True,
+                site=str(options.ident),
+            )
+            assert tel is not None
+            self._live_export = telemetry.LiveExport(
+                tel, jsonl_path=options.span_jsonl
+            )
+            self._owns_telemetry = True
         self.transport = UdpRpcTransport()
         self.node = ChordProtocolNode(
             options.ident, self.space, self.transport, options.chord_config()
@@ -155,12 +178,14 @@ class FleetAgent:
         self._sock = sock
         try:
             host, port = self.transport.address_of(self.options.ident)
+            tel = telemetry.active()
             self._send(
                 Hello(
                     ident=self.options.ident,
                     pid=os.getpid(),
                     udp_host=host,
                     udp_port=port,
+                    clock=tel.now() if tel is not None else 0.0,
                 )
             )
             self._telemetry_thread = threading.Thread(
@@ -234,6 +259,12 @@ class FleetAgent:
         self.service.close()
         self.node.stop_maintenance()
         self.transport.close()
+        if self._live_export is not None:
+            self._live_export.close()
+            self._live_export = None
+        if self._owns_telemetry:
+            telemetry.disable()
+            self._owns_telemetry = False
         sock = self._sock
         self._sock = None
         if sock is not None:
@@ -455,6 +486,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rpc-timeout", type=float, default=0.5)
     parser.add_argument("--telemetry-interval", type=float, default=0.5)
     parser.add_argument("--n-hint", type=int, default=1)
+    parser.add_argument(
+        "--span-jsonl",
+        default=None,
+        help="enable distributed tracing and stream this agent's span export here",
+    )
     parser.add_argument("--log-level", default="WARNING")
     args = parser.parse_args(argv)
     logging.basicConfig(
@@ -474,6 +510,7 @@ def main(argv: list[str] | None = None) -> int:
             rpc_timeout=args.rpc_timeout,
             telemetry_interval=args.telemetry_interval,
             n_hint=args.n_hint,
+            span_jsonl=args.span_jsonl,
         )
     )
     return agent.run()

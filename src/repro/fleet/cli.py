@@ -25,6 +25,7 @@ from typing import Any
 from repro.errors import FleetError
 from repro.fleet.compare import compare_fig9, run_fig9_sim_twin
 from repro.fleet.plan import plan_fleet_churn, plan_fleet_fig9
+from repro.fleet.report import build_fleet_report, check_traces, render_fleet_report
 from repro.fleet.replay import replay_churn_live, replay_fig9_live
 from repro.fleet.supervisor import FleetConfig, FleetSupervisor, RestartPolicy
 from repro.fleet.wire import Reply, Request, decode_frame, encode_frame
@@ -82,6 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-scale", type=float, default=0.0, help="churn: virtual->wall scale (0 = back-to-back)"
     )
 
+    report = sub.add_parser(
+        "report",
+        help="merge the state dir's telemetry + span exports into one fleet report",
+    )
+    report.add_argument("--json", action="store_true", help="machine-readable output")
+    report.add_argument(
+        "--require-traces",
+        metavar="ROOT",
+        default=None,
+        help="exit 1 unless cross-node traces rooted at ROOT assembled cleanly",
+    )
+
     sub.add_parser("down", help="tear down the running fleet")
     return parser
 
@@ -98,6 +111,14 @@ def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--restart", action="store_true", help="restart-and-rejoin killed agents"
     )
+    parser.add_argument(
+        "--trace-spans",
+        action="store_true",
+        help=(
+            "enable distributed tracing on every agent (span exports + clock "
+            "offsets under --state-dir; merge with the `report` subcommand)"
+        ),
+    )
 
 
 def config_from_args(args: argparse.Namespace) -> FleetConfig:
@@ -112,6 +133,7 @@ def config_from_args(args: argparse.Namespace) -> FleetConfig:
         rpc_timeout=args.rpc_timeout,
         state_dir=args.state_dir,
         restart=RestartPolicy(enabled=args.restart),
+        trace_spans=args.trace_spans,
     )
 
 
@@ -224,7 +246,13 @@ async def _run_up(config: FleetConfig) -> int:
 
 
 async def _run_smoke(config: FleetConfig, slots: int, report_path: str) -> int:
-    """The CI smoke: boot, converge, fig9 replay, kill + rejoin, compare."""
+    """The CI smoke: boot, converge, fig9 replay, kill + rejoin, compare.
+
+    With ``--trace-spans`` the smoke additionally merges the per-agent
+    span exports (after teardown, so every agent has flushed) into the
+    fleet-wide report and requires cross-node ``dat.push`` traces to have
+    assembled — the distributed-tracing round trip over real processes.
+    """
     supervisor = FleetSupervisor(config)
     try:
         await supervisor.start()
@@ -244,21 +272,27 @@ async def _run_smoke(config: FleetConfig, slots: int, report_path: str) -> int:
         await supervisor.kill(victim)
         await supervisor.join_agent(victim)
         reconverged = await supervisor.wait_converged()
-
-        if report_path:
-            with open(report_path, "w", encoding="utf-8") as fh:
-                fh.write(report.to_json())
-        _emit(
-            {
-                "smoke": "pass" if (report.passed and reconverged) else "fail",
-                "comparison_passed": report.passed,
-                "reconverged_after_kill": reconverged,
-                "report": json.loads(report.to_json()),
-            }
-        )
-        return 0 if (report.passed and reconverged) else 1
     finally:
         await supervisor.down()
+
+    payload: dict[str, Any] = {
+        "comparison_passed": report.passed,
+        "reconverged_after_kill": reconverged,
+        "report": json.loads(report.to_json()),
+    }
+    passed = report.passed and reconverged
+    if config.trace_spans:
+        fleet_report = build_fleet_report(config.state_dir)
+        trace_failures = check_traces(fleet_report, "dat.push")
+        payload["fleet_report"] = fleet_report
+        payload["trace_failures"] = trace_failures
+        passed = passed and not trace_failures
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+    payload["smoke"] = "pass" if passed else "fail"
+    _emit(payload)
+    return 0 if passed else 1
 
 
 def _emit(payload: dict[str, Any]) -> None:
@@ -299,6 +333,25 @@ def main(argv: list[str] | None = None) -> int:
                     },
                 )
             )
+        elif args.command == "report":
+            try:
+                fleet_report = build_fleet_report(args.state_dir)
+            except FileNotFoundError as exc:
+                raise FleetError(str(exc)) from exc
+            if not fleet_report["agents"]:
+                raise FleetError(
+                    f"no telemetry-*.jsonl streams in {args.state_dir}"
+                )
+            if args.json:
+                _emit(fleet_report)
+            else:
+                sys.stdout.write(render_fleet_report(fleet_report))
+            if args.require_traces:
+                failures = check_traces(fleet_report, args.require_traces)
+                for failure in failures:
+                    sys.stderr.write(f"CHECK FAIL: {failure}\n")
+                if failures:
+                    return 1
         elif args.command == "down":
             _emit(admin_call(args.state_dir, "down"))
     except FleetError as exc:

@@ -1,0 +1,269 @@
+"""Fleet-wide telemetry aggregation: one report from a state directory.
+
+A fleet run leaves per-agent artifacts under ``state_dir``:
+
+* ``telemetry-<ident>.jsonl`` — the control-plane telemetry stream (one
+  ``{"event": "telemetry", "data": {...}}`` frame per sampling interval)
+  the supervisor persisted for each agent;
+* ``spans-<ident>.jsonl`` — each agent's span export, present when the
+  fleet ran with tracing (``FleetConfig.trace_spans`` /
+  ``--trace-spans``);
+* ``clock-offsets.json`` — the per-agent clock offsets the supervisor
+  estimated from each ``Hello`` handshake.
+
+This module merges all three into a single fleet-wide view: per-agent
+activity rollups from the telemetry streams, and cross-node causal traces
+assembled from the span exports after shifting every file onto the
+supervisor timeline. It is deliberately offline — it only reads files, so
+it works on a live fleet's state dir, after teardown, and on artifacts
+copied off a CI runner alike.
+
+CLI::
+
+    python -m repro.fleet.report .fleet            # human-readable
+    python -m repro.fleet.report .fleet --json     # machine-readable
+    python -m repro.fleet.report .fleet --require-traces dat.push
+
+(also reachable as ``python -m repro.fleet report``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.telemetry.traces import TraceSet, assemble_files
+
+__all__ = [
+    "agent_rollups",
+    "fleet_trace_set",
+    "build_fleet_report",
+    "render_fleet_report",
+    "main",
+]
+
+_TELEMETRY_RE = re.compile(r"telemetry-(\d+)\.jsonl$")
+_SPANS_RE = re.compile(r"spans-(\d+)\.jsonl$")
+
+
+def _read_jsonl(path: Path) -> list[dict[str, Any]]:
+    """Best-effort JSONL records (a killed agent may truncate mid-line)."""
+    records: list[dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def agent_rollups(state_dir: Path) -> dict[str, dict[str, Any]]:
+    """Per-agent activity summary from the persisted telemetry streams."""
+    rollups: dict[str, dict[str, Any]] = {}
+    for path in sorted(state_dir.glob("telemetry-*.jsonl")):
+        match = _TELEMETRY_RE.search(path.name)
+        if match is None:
+            continue
+        ident = match.group(1)
+        samples = [
+            record["data"]
+            for record in _read_jsonl(path)
+            if record.get("event") == "telemetry"
+            and isinstance(record.get("data"), dict)
+        ]
+        if not samples:
+            rollups[ident] = {"samples": 0}
+            continue
+        last = samples[-1]
+        pushes = last.get("pushes") or {}
+        rollups[ident] = {
+            "samples": len(samples),
+            "last_t": last.get("t"),
+            "sent": last.get("sent"),
+            "received": last.get("received"),
+            "fingers_filled": last.get("fingers_filled"),
+            "pushes": sum(int(v) for v in pushes.values()) if pushes else 0,
+            "estimates": last.get("estimates") or {},
+        }
+    return rollups
+
+
+def clock_offsets(state_dir: Path) -> dict[str, float]:
+    """The supervisor's per-agent clock offsets (empty if never written)."""
+    path = state_dir / "clock-offsets.json"
+    if not path.is_file():
+        return {}
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except ValueError:
+        return {}
+    return {str(k): float(v) for k, v in raw.items()}
+
+
+def fleet_trace_set(state_dir: Path) -> TraceSet | None:
+    """Assemble cross-node traces from every agent's span export.
+
+    Returns ``None`` when the fleet ran without tracing (no span files).
+    Each file's timestamps are shifted by its agent's clock offset so
+    parent/child spans from different processes land on one timeline.
+    """
+    span_files = sorted(
+        p for p in state_dir.glob("spans-*.jsonl") if _SPANS_RE.search(p.name)
+    )
+    if not span_files:
+        return None
+    return assemble_files(span_files, offsets=clock_offsets(state_dir))
+
+
+def build_fleet_report(state_dir: Path | str) -> dict[str, Any]:
+    """The merged fleet report as a JSON-safe dict."""
+    state_dir = Path(state_dir)
+    if not state_dir.is_dir():
+        raise FileNotFoundError(f"{state_dir}: no such fleet state directory")
+    agents = agent_rollups(state_dir)
+    report: dict[str, Any] = {
+        "state_dir": str(state_dir),
+        "agents": agents,
+        "n_agents": len(agents),
+        "total_pushes": sum(
+            int(a.get("pushes", 0)) for a in agents.values()
+        ),
+    }
+    traces = fleet_trace_set(state_dir)
+    if traces is None:
+        report["traces"] = None
+        return report
+    roots: dict[str, dict[str, Any]] = {}
+    for name in sorted({t.root.name for t in traces.traces if not t.orphaned}):
+        group = traces.rooted(name)
+        cps = [t.critical_path_latency() for t in group]
+        roots[name] = {
+            "count": len(group),
+            "max_depth": max(t.depth() for t in group),
+            "max_hops": max(t.hops() for t in group),
+            "mean_critical_path": sum(cps) / len(cps),
+            "cross_node": sum(1 for t in group if len(t.nodes()) > 1),
+        }
+    report["traces"] = {
+        "spans": traces.total_spans,
+        "traces": len(traces.traces),
+        "orphans": len(traces.orphans()),
+        "duplicates": traces.duplicates,
+        "offsets": clock_offsets(state_dir),
+        "roots": roots,
+    }
+    return report
+
+
+def render_fleet_report(report: dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`build_fleet_report`'s dict."""
+    lines = [
+        f"fleet report: {report['state_dir']} — {report['n_agents']} agents, "
+        f"{report['total_pushes']} pushes",
+    ]
+    for ident in sorted(report["agents"], key=int):
+        agent = report["agents"][ident]
+        if not agent.get("samples"):
+            lines.append(f"  agent {ident}: no telemetry samples")
+            continue
+        lines.append(
+            f"  agent {ident}: samples={agent['samples']} "
+            f"t={agent.get('last_t')} sent={agent.get('sent')} "
+            f"recv={agent.get('received')} pushes={agent.get('pushes')}"
+        )
+    traces = report.get("traces")
+    if traces is None:
+        lines.append("traces: none (fleet ran without --trace-spans)")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        f"traces: {traces['traces']} assembled from {traces['spans']} spans "
+        f"({traces['orphans']} orphaned, {traces['duplicates']} duplicate ids, "
+        f"{len(traces['offsets'])} aligned clocks)"
+    )
+    for name, stats in traces["roots"].items():
+        lines.append(
+            f"  {name}: count={stats['count']} depth<={stats['max_depth']} "
+            f"hops<={stats['max_hops']} cross_node={stats['cross_node']} "
+            f"mean_cp={stats['mean_critical_path']:.6f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def check_traces(report: dict[str, Any], require_root: str) -> list[str]:
+    """Validation for the CI smoke: returns failure messages (empty = ok).
+
+    Requires traced spans to exist, at least one trace rooted at
+    ``require_root`` to span more than one node (context really crossed a
+    process boundary), and orphans to stay a minority (parent resolution
+    worked across the merged per-node files).
+    """
+    failures: list[str] = []
+    traces = report.get("traces")
+    if not traces:
+        return [f"no span exports in {report['state_dir']}"]
+    stats = traces["roots"].get(require_root)
+    if stats is None or stats["count"] == 0:
+        failures.append(f"no traces rooted at {require_root!r}")
+    elif stats["cross_node"] == 0:
+        failures.append(
+            f"no {require_root!r} trace crossed a process boundary"
+        )
+    if traces["orphans"] > traces["traces"] / 2:
+        failures.append(
+            f"{traces['orphans']}/{traces['traces']} traces orphaned — "
+            "parent spans missing from the merged fleet files"
+        )
+    return failures
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.report",
+        description="Merge a fleet state dir into one fleet-wide report.",
+    )
+    parser.add_argument("state_dir", help="fleet state directory (e.g. .fleet)")
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--require-traces",
+        metavar="ROOT",
+        help="exit 1 unless cross-node traces rooted at ROOT assembled cleanly",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = build_fleet_report(args.state_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not report["agents"]:
+        print(
+            f"error: no telemetry-*.jsonl streams in {args.state_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_fleet_report(report), end="")
+    if args.require_traces:
+        failures = check_traces(report, args.require_traces)
+        for failure in failures:
+            print(f"CHECK FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"check ok: cross-node {args.require_traces!r} traces assembled")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ the agents' control ops, exactly as a remote deployment would.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 import signal
 import sys
@@ -77,6 +78,11 @@ class FleetConfig:
     restart: RestartPolicy = field(default_factory=RestartPolicy)
     python: str = sys.executable
     log_level: str = "WARNING"
+    #: Enable distributed tracing on every agent: each one streams its
+    #: span export to ``state_dir/spans-<ident>.jsonl`` and the supervisor
+    #: records per-agent clock offsets (from the Hello handshake) in
+    #: ``state_dir/clock-offsets.json`` for trace alignment.
+    trace_spans: bool = False
 
     @property
     def space(self) -> IdSpace:
@@ -99,7 +105,11 @@ class FleetConfig:
             "--telemetry-interval", str(self.telemetry_interval),
             "--n-hint", str(n_hint),
             "--log-level", self.log_level,
-        ]
+        ] + (
+            ["--span-jsonl", str(Path(self.state_dir) / f"spans-{ident}.jsonl")]
+            if self.trace_spans
+            else []
+        )
 
 
 class AgentHandle:
@@ -120,6 +130,11 @@ class AgentHandle:
         self._pending: dict[int, asyncio.Future[Reply]] = {}
         self.telemetry_path: Path | None = None
         self.last_telemetry: dict[str, Any] = {}
+        #: Supervisor-minus-agent telemetry-clock delta, estimated at Hello
+        #: receipt; adding it to agent span timestamps maps them onto the
+        #: supervisor timeline. ``None`` until the agent says hello with a
+        #: clock (i.e. with tracing enabled).
+        self.clock_offset: float | None = None
 
     @property
     def alive(self) -> bool:
@@ -282,6 +297,14 @@ class FleetSupervisor:
                     handle.writer = writer
                     handle.udp_addr = (frame.udp_host, frame.udp_port)
                     handle.pid = frame.pid
+                    if self.config.trace_spans and self.started_at is not None:
+                        # Align the agent's telemetry clock with ours: its
+                        # span timestamps plus this offset land on the
+                        # supervisor timeline (modulo the one-way control
+                        # frame delay, sub-ms on localhost).
+                        supervisor_now = time.monotonic() - self.started_at
+                        handle.clock_offset = supervisor_now - frame.clock
+                        self._write_clock_offsets()
                     handle.state = "connected"
                     handle.hello_event.set()
                 elif handle is None:
@@ -308,6 +331,23 @@ class FleetSupervisor:
                 yield decode_frame(line)
             except ValueError as exc:
                 logger.warning("dropping malformed frame: %s", exc)
+
+    def _write_clock_offsets(self) -> None:
+        """Persist per-agent clock offsets for offline trace assembly.
+
+        Keyed by ident, matching the trailing token of the
+        ``spans-<ident>.jsonl`` file names —
+        :func:`repro.telemetry.traces.offset_for` resolves them either way.
+        """
+        offsets = {
+            str(h.ident): round(h.clock_offset, 6)
+            for h in self.agents.values()
+            if h.clock_offset is not None
+        }
+        path = self.state_dir / "clock-offsets.json"
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(offsets, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
     def _record_event(self, handle: AgentHandle, event: Event) -> None:
         if event.name != "telemetry":

@@ -51,12 +51,20 @@ MAX_FRAME_BYTES = 1 << 20
 
 @dataclass(frozen=True)
 class Hello:
-    """Agent self-introduction: who I am and where my UDP socket lives."""
+    """Agent self-introduction: who I am and where my UDP socket lives.
+
+    ``clock`` is the agent's telemetry-clock reading at the instant the
+    frame was built. The supervisor subtracts it from its own clock at
+    receipt to estimate the per-agent offset that maps span timestamps
+    onto the supervisor timeline (fleet trace alignment); ``0.0`` from
+    old agents degrades gracefully to "no alignment".
+    """
 
     ident: int
     pid: int
     udp_host: str
     udp_port: int
+    clock: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -99,6 +107,7 @@ def encode_frame(frame: Frame) -> bytes:
                 "pid": frame.pid,
                 "udp_host": frame.udp_host,
                 "udp_port": frame.udp_port,
+                "clock": frame.clock,
             }
         }
     elif isinstance(frame, Request):
@@ -162,6 +171,7 @@ def decode_frame(data: bytes | str) -> Frame:
             pid=int(_require(hello, "pid", (int,))),
             udp_host=str(_require(hello, "udp_host", (str,))),
             udp_port=int(_require(hello, "udp_port", (int,))),
+            clock=float(hello.get("clock") or 0.0),
         )
     if "event" in obj:
         return Event(

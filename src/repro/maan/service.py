@@ -158,19 +158,29 @@ class MaanNodeService:
                 self.store.put(attribute, value, resource)
                 done(True)
                 return
-            self.net.send(
-                Message(
-                    kind="maan_store",
-                    source=self.ident,
-                    destination=owner,
-                    payload={
-                        "attribute": attribute,
-                        "value": value,
-                        "resource_id": resource.resource_id,
-                        "attributes": dict(resource.attributes),
-                    },
+            store_span = (
+                telemetry.span(
+                    "maan.store_route", node=self.ident, attribute=attribute, owner=owner
                 )
+                if telemetry.tracing_enabled()
+                else telemetry.NULL_SPAN
             )
+            with store_span:
+                # on_owner runs from the lookup's continuation — no span is
+                # open here, so the store leg roots its own trace.
+                self.net.send(
+                    Message(
+                        kind="maan_store",
+                        source=self.ident,
+                        destination=owner,
+                        payload={
+                            "attribute": attribute,
+                            "value": value,
+                            "resource_id": resource.resource_id,
+                            "attributes": dict(resource.attributes),
+                        },
+                    )
+                )
             done(True)
 
         def on_failure(_key: int) -> None:
@@ -180,10 +190,13 @@ class MaanNodeService:
 
     def _on_store(self, message: Message) -> None:
         payload = message.payload
-        resource = Resource(
-            resource_id=payload["resource_id"], attributes=payload["attributes"]
-        )
-        self.store.put(payload["attribute"], payload["value"], resource)
+        with telemetry.remote_span(
+            message, "maan.store_recv", node=self.ident, attribute=payload["attribute"]
+        ):
+            resource = Resource(
+                resource_id=payload["resource_id"], attributes=payload["attributes"]
+            )
+            self.store.put(payload["attribute"], payload["value"], resource)
         return None
 
     # ------------------------------------------------------------------ #
@@ -260,6 +273,10 @@ class MaanNodeService:
             # The walk's terminal node answers the original scan directly
             # (``reply_to=token``); the session layer owns the wait.
             scan.payload["token"] = scan.msg_id
+            # This continuation runs after the query span left the nesting
+            # stack, so thread its context explicitly: the walk's hops
+            # chain under the live query.
+            span.propagate(scan)
             self.net.call(
                 scan,
                 deliver,
@@ -273,6 +290,9 @@ class MaanNodeService:
             on_result(QueryResult())  # empty: lookup failed
 
         self.lookup_fn(low_key, on_start, on_failure)
+        # The query span finishes in a continuation; leave the nesting
+        # stack so unrelated spans started meanwhile don't nest under it.
+        span.detach()
 
     def _on_scan(self, message: Message) -> None:
         """One hop of the successor walk.
@@ -302,30 +322,37 @@ class MaanNodeService:
         low_key, high_key = payload["low_key"], payload["high_key"]
         in_interval = low_key <= self.ident <= high_key
         successor = self.successor_provider()
-        if (
-            not in_interval
-            or successor == self.ident
-            or successor == payload["start"]
-        ):
-            # Terminal hop: answer the originator's scan request directly.
-            self.net.send(
-                Message(
-                    kind="maan_result",
-                    source=self.ident,
-                    destination=payload["originator"],
-                    payload={"matches": matches, "visited": visited},
-                    reply_to=payload["token"],
+        with telemetry.remote_span(
+            message, "maan.scan_hop", node=self.ident, visited=visited
+        ) as hop:
+            if (
+                not in_interval
+                or successor == self.ident
+                or successor == payload["start"]
+            ):
+                # Terminal hop: answer the originator's scan request
+                # directly (the reply joins this hop's trace via the send
+                # path's automatic threading).
+                self.net.send(
+                    Message(
+                        kind="maan_result",
+                        source=self.ident,
+                        destination=payload["originator"],
+                        payload={"matches": matches, "visited": visited},
+                        reply_to=payload["token"],
+                    )
                 )
-            )
-            return None
-        self.net.send(
-            Message(
+                return None
+            forward = Message(
                 kind="maan_scan",
                 source=self.ident,
                 destination=successor,
                 payload={**payload, "matches": matches, "visited": visited},
             )
-        )
+            # The copied payload still carries the previous hop's context;
+            # replace it so the walk chains hop by hop.
+            hop.propagate(forward)
+            self.net.send(forward)
         return None
 
     def multi_attribute_query(

@@ -100,7 +100,13 @@ class RpcClient:
     # ------------------------------------------------------------------ #
 
     def send(self, message: Message) -> None:
-        """Fire-and-forget passthrough (no reply expected)."""
+        """Fire-and-forget passthrough (no reply expected).
+
+        With tracing enabled, the current span's trace context is threaded
+        into the payload (unless the caller already attached one) — every
+        service-level send is traceable with zero service-side plumbing.
+        """
+        telemetry.propagate_current(message)
         self.transport.send(message)
 
     def call(
@@ -127,6 +133,10 @@ class RpcClient:
         send_fn: SendFn = send if send is not None else self.transport.send
         attempt = 1
         telemetry.count("rpc_calls_total", kind=message.kind)
+        # Trace context is attached once, before the first attempt: retried
+        # attempts re-send the *same* message object (same msg_id, same
+        # context), so retransmissions stay in their originating trace.
+        telemetry.propagate_current(message)
 
         def deliver(reply: Message) -> None:
             if is_error_reply(reply):

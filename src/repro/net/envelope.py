@@ -28,6 +28,7 @@ from typing import Callable, Hashable, Iterator, MutableMapping, Optional
 
 from repro.sim.messages import Message
 from repro.sim.transport import Transport
+from repro.telemetry.spans import SpanBase
 
 __all__ = [
     "Upcall",
@@ -127,6 +128,7 @@ class DeferredResponder:
         self.capacity = capacity
         self._inflight: set[Hashable] = set()
         self._done: OrderedDict[Hashable, Message] = OrderedDict()
+        self._spans: dict[Hashable, SpanBase] = {}
 
     def begin(self, key: Hashable, request: Message) -> bool:
         """Claim ``key`` for execution.
@@ -146,9 +148,28 @@ class DeferredResponder:
         self._inflight.add(key)
         return True
 
+    def adopt(self, key: Hashable, span: SpanBase) -> SpanBase:
+        """Attach the span covering ``key``'s deferred work.
+
+        :meth:`complete` threads the span's trace context into the reply
+        — deferred replies rejoin their originating trace — and finishes
+        it; :meth:`abandon` finishes it as abandoned. Returns the span
+        for chaining.
+        """
+        self._spans[key] = span
+        return span
+
     def complete(self, key: Hashable, response: Message) -> None:
-        """Send ``response`` and cache it for future duplicates."""
+        """Send ``response`` and cache it for future duplicates.
+
+        An adopted span's trace context is stamped onto the reply before
+        it is cached, so replays of the cached reply carry it too.
+        """
         self._inflight.discard(key)
+        span = self._spans.pop(key, None)
+        if span is not None:
+            span.propagate(response)
+            span.finish()
         self._done[key] = response
         while len(self._done) > self.capacity:
             self._done.popitem(last=False)
@@ -157,6 +178,9 @@ class DeferredResponder:
     def abandon(self, key: Hashable) -> None:
         """Drop an in-flight claim without replying (e.g. on teardown)."""
         self._inflight.discard(key)
+        span = self._spans.pop(key, None)
+        if span is not None:
+            span.finish(abandoned=True)
 
     def pending(self) -> int:
         """Number of in-flight claims (useful in tests)."""

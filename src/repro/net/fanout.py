@@ -94,6 +94,11 @@ def gather(
             on_timeout=make_fail(message),
             policy=policy,
         )
+    # The round's span outlives this frame (it finishes when the last call
+    # settles); leave the nesting stack so later unrelated spans on this
+    # thread don't nest under it. Each request already captured the span's
+    # trace context while it was current.
+    span.detach()
 
 
 class Batcher:
@@ -119,7 +124,14 @@ class Batcher:
         self._closed = False
 
     def enqueue(self, message: Message) -> None:
-        """Queue ``message`` for its destination (or send it right away)."""
+        """Queue ``message`` for its destination (or send it right away).
+
+        Trace context is captured per enqueued message, at enqueue time —
+        each push in a flushed envelope keeps its own originating context
+        (the envelope itself carries none), so batched pushes fan back out
+        into their individual traces at the unwrapper.
+        """
+        telemetry.propagate_current(message)
         if self.window <= 0.0 or self._closed:
             self.transport.send(message)
             return

@@ -56,15 +56,27 @@ from repro.telemetry.runtime import (
     bind_clock,
     configure,
     count,
+    current_span,
     disable,
     enabled,
     gauge_set,
     is_enabled,
     observe,
+    propagate_current,
+    remote_span,
+    trace_span,
     sample_hotspots,
     span,
+    tracing_enabled,
 )
-from repro.telemetry.spans import NullSpan, Span, SpanBase, SpanRecorder
+from repro.telemetry.spans import (
+    TRACE_KEY,
+    NullSpan,
+    Span,
+    SpanBase,
+    SpanRecorder,
+    TraceContext,
+)
 from repro.telemetry.stream import JsonlSpanStream, LiveExport, TelemetryStream
 
 __all__ = [
@@ -79,10 +91,17 @@ __all__ = [
     "enabled",
     "bind_clock",
     "span",
+    "trace_span",
+    "remote_span",
+    "current_span",
+    "tracing_enabled",
+    "propagate_current",
     "count",
     "observe",
     "gauge_set",
     "sample_hotspots",
+    "TraceContext",
+    "TRACE_KEY",
     "Counter",
     "Gauge",
     "Histogram",

@@ -66,6 +66,19 @@ class TelemetryConfig:
         wall-clock offset (``sim.udprpc`` is the one sanctioned DAT008
         boundary). Off by default: wall-clocked exports are not
         replay-deterministic.
+    tracing:
+        Opt-in distributed tracing. When ``True``, every root span is
+        assigned a ``trace_id``, ``repro.net`` threads a compact
+        :class:`~repro.telemetry.spans.TraceContext` through message
+        payloads, and the per-hop span sites (``dat.push`` /
+        ``chord.lookup_hop`` / ...) record. Off by default so exports —
+        and message byte sizes — are unchanged unless asked for;
+        propagation overhead is gated at ≤5% over span-enabled mode by
+        ``benchmarks/bench_telemetry_overhead.py``.
+    site:
+        Identity prefix for qualified span ids (``"<site>:<span_id>"``).
+        ``"0"`` in the single-process simulator; fleet agents set their
+        node ident so merged per-node span exports never collide.
     histogram_start, histogram_factor, histogram_count:
         The fixed log-spaced histogram bucket grid: upper bounds
         ``start * factor**i`` for ``i in range(count)`` (plus +Inf).
@@ -88,6 +101,8 @@ class TelemetryConfig:
     span_sample_every: int = 1
     sample_window: float = 0.0
     allow_wall_clock: bool = False
+    tracing: bool = False
+    site: str = "0"
     histogram_start: float = 1.0
     histogram_factor: float = 2.0
     histogram_count: int = 20
@@ -112,6 +127,8 @@ class TelemetryConfig:
             raise ValueError(
                 f"sample_window cannot be negative, got {self.sample_window}"
             )
+        if not self.site:
+            raise ValueError("site must be a non-empty string")
         for name, buckets in self.histogram_bucket_overrides:
             if not buckets or list(buckets) != sorted(set(buckets)):
                 raise ValueError(

@@ -111,17 +111,35 @@ def metric_record(sample: MetricSample) -> dict[str, object]:
 
 
 def span_record(span: Span) -> dict[str, object]:
-    """One ``span`` record; lazy attributes are resolved here."""
-    return {
+    """One ``span`` record; lazy attributes are resolved here.
+
+    With tracing enabled the record additionally carries the causal-tree
+    fields :mod:`repro.telemetry.traces` assembles from: ``trace_id``,
+    the globally qualified ``sid`` / ``trace_parent`` ids, the remote
+    ``hop`` count, and the executing ``node`` (lifted from the span's
+    ``node`` attribute when set). Without tracing the record is
+    byte-identical to what it always was.
+    """
+    attrs = span.resolved_attrs()
+    record: dict[str, object] = {
         "type": "span",
         "name": span.name,
         "span_id": span.span_id,
         "parent_id": span.parent_id,
         "start": span.start,
         "end": span.end,
-        "attrs": span.resolved_attrs(),
+        "attrs": attrs,
         "error": span.error,
     }
+    if span.trace_id is not None:
+        record["trace_id"] = span.trace_id
+        record["sid"] = span.sid
+        record["trace_parent"] = span.qualified_parent()
+        record["hop"] = span.hop
+        node = attrs.get("node")
+        if node is not None:
+            record["node"] = node
+    return record
 
 
 def span_drops_record(

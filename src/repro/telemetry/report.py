@@ -1,10 +1,12 @@
-"""Summary-table CLI over a telemetry JSONL export.
+"""Summary-table CLI over one or many telemetry JSONL exports.
 
 Usage::
 
     python -m repro.telemetry.report run.jsonl
     python -m repro.telemetry.report run.jsonl --section spans
     python -m repro.telemetry.report run.jsonl --top 10
+    python -m repro.telemetry.report .fleet/            # merge dir/*.jsonl
+    python -m repro.telemetry.report a.jsonl b.jsonl --offsets offs.json
 
 Reads the JSONL event stream written by
 :func:`repro.telemetry.export.write_jsonl` or streamed live by
@@ -23,6 +25,17 @@ to prove dynamics runs really emitted per-window samples.
 rolling-imbalance time series to a plot-ready artifact (one row/record
 per sample, across all accountants) so figure scripts can consume the
 Fig. 8b-style dynamics series without re-parsing the raw event stream.
+
+Multiple positional paths are merged into one report; a directory path
+expands to its ``*.jsonl`` files (sorted) — the fleet case, one export
+per agent. ``--offsets`` maps file stems (or the trailing ident of
+``spans-<ident>``-style names) to per-file clock offsets so fleet
+exports line up on the supervisor timeline; see
+:mod:`repro.telemetry.traces`. Missing files, directories without any
+``*.jsonl``, and inputs with zero events all exit ``2`` with a clear
+error. The ``traces`` section assembles causal trees from traced spans
+and shows per-root-name depth/hop/critical-path rollups plus where the
+critical-path time went per node.
 """
 
 from __future__ import annotations
@@ -32,11 +45,16 @@ import csv
 import json
 import sys
 from collections import defaultdict
+from pathlib import Path
 from typing import Iterable, Sequence
+
+from repro.telemetry.traces import TraceSpan, assemble, offset_for
 
 __all__ = [
     "main",
     "build_parser",
+    "resolve_inputs",
+    "load_merged_events",
     "render_report",
     "rolling_imbalance",
     "rolling_samples",
@@ -50,7 +68,7 @@ ROLLING_FIELDS = (
     "accountant", "at", "n_nodes", "total", "mean", "maximum", "imbalance"
 )
 
-_SECTIONS = ("metrics", "spans", "hotspots", "samples")
+_SECTIONS = ("metrics", "spans", "traces", "hotspots", "samples")
 
 
 def _load_events(lines: Iterable[str]) -> list[dict[str, object]]:
@@ -67,6 +85,86 @@ def _load_events(lines: Iterable[str]) -> list[dict[str, object]]:
             raise ValueError(f"line {lineno}: not a telemetry event")
         events.append(record)
     return events
+
+
+def _looks_like_export(path: Path) -> bool:
+    """True unless the file's first record is a fleet control-plane frame.
+
+    A fleet state dir mixes telemetry exports (``spans-*.jsonl``) with the
+    supervisor's persisted control streams (``telemetry-*.jsonl``, whose
+    records carry ``event``/``data`` instead of ``type``); directory
+    expansion keeps only the former. Unreadable or malformed files are
+    kept — their error should surface at load time, not vanish here.
+    """
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    return True
+                return not (isinstance(record, dict) and "type" not in record)
+    except OSError:
+        return True
+    return True  # empty file: kept (contributes zero events)
+
+
+def resolve_inputs(paths: Sequence[str]) -> list[Path]:
+    """Expand the positional arguments into concrete JSONL files.
+
+    A directory expands to its sorted ``*.jsonl`` children (the fleet
+    state dir, one export per agent), skipping control-plane streams that
+    are not telemetry exports. Raises :class:`ValueError` with a clear
+    message for a missing path or a directory with no exports.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = [p for p in sorted(path.glob("*.jsonl")) if _looks_like_export(p)]
+            if not found:
+                raise ValueError(
+                    f"{path}: directory contains no telemetry *.jsonl exports"
+                )
+            files.extend(found)
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ValueError(f"{path}: no such file or directory")
+    return files
+
+
+def load_merged_events(
+    files: Sequence[Path], offsets: dict[str, float] | None = None
+) -> list[dict[str, object]]:
+    """Load and merge several exports onto one timeline.
+
+    Each file's clock offset (see :func:`repro.telemetry.traces.offset_for`)
+    is added to its span records' ``start``/``end`` before merging, so
+    span and trace sections read a single consistent clock. Raises
+    :class:`ValueError` (with the file named) for malformed lines.
+    """
+    merged: list[dict[str, object]] = []
+    for path in files:
+        with open(path, encoding="utf-8") as handle:
+            try:
+                events = _load_events(handle)
+            except ValueError as exc:
+                raise ValueError(f"{path}: {exc}") from exc
+        offset = offset_for(path, offsets)
+        if offset:
+            for event in events:
+                if event.get("type") != "span":
+                    continue
+                for field in ("start", "end"):
+                    value = event.get(field)
+                    if isinstance(value, (int, float)):
+                        event[field] = float(value) + offset
+        merged.extend(events)
+    return merged
 
 
 def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> list[str]:
@@ -163,6 +261,76 @@ def _drops_lines(events: list[dict[str, object]]) -> list[str]:
         if isinstance(by_name, dict) and by_name:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(by_name.items()))
             lines.append(f"  sampled out by name: {detail}")
+    return lines
+
+
+def _traces_section(events: list[dict[str, object]], top: int) -> list[str]:
+    """Causal-trace rollup: per-root-name trees and critical-path time.
+
+    Only spans exported with tracing enabled carry the ``sid`` /
+    ``trace_parent`` fields assembly needs; an untraced export renders a
+    hint instead of an empty table.
+    """
+    spans = []
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        span = TraceSpan.from_record(event)
+        if span is not None:
+            spans.append(span)
+    if not spans:
+        return ["(no traced spans — produce the export with tracing enabled,"
+                " e.g. --trace-jsonl)"]
+    traces = assemble(spans)
+    groups: dict[str, list] = defaultdict(list)
+    for trace in traces.traces:
+        if not trace.orphaned:
+            groups[trace.root.name].append(trace)
+    rows = []
+    ranked = sorted(
+        groups.items(), key=lambda kv: -sum(t.duration for t in kv[1])
+    )
+    for name, group in ranked[:top] if top else ranked:
+        cps = [t.critical_path_latency() for t in group]
+        rows.append(
+            [
+                name,
+                str(len(group)),
+                str(max(t.depth() for t in group)),
+                str(max(t.hops() for t in group)),
+                f"{sum(cps) / len(cps):.6g}",
+                f"{max(cps):.6g}",
+            ]
+        )
+    lines = _table(
+        ["root", "traces", "depth", "hops", "mean_crit_path", "max_crit_path"],
+        rows,
+    )
+    if top and len(ranked) > top:
+        lines.append(f"... ({len(ranked) - top} more root names)")
+    lines.append(
+        f"assembly: {len(traces.traces)} traces from {traces.total_spans} "
+        f"spans, {len(traces.orphans())} orphaned, "
+        f"{traces.duplicates} duplicate ids"
+    )
+    # Where the latency went: critical-path time attributed per node.
+    by_node: dict[object, float] = defaultdict(float)
+    for trace in traces.traces:
+        for node, width in trace.node_attribution().items():
+            by_node[node] += width
+    total = sum(by_node.values())
+    if total > 0:
+        lines.append("critical-path time by node:")
+        ranked_nodes = sorted(by_node.items(), key=lambda kv: -kv[1])
+        node_rows = [
+            [str(node), f"{width:.6g}", f"{width / total * 100:.1f}%"]
+            for node, width in (ranked_nodes[:top] if top else ranked_nodes)
+        ]
+        lines.extend(
+            "  " + row for row in _table(["node", "time", "share"], node_rows)
+        )
+        if top and len(ranked_nodes) > top:
+            lines.append(f"  ... ({len(ranked_nodes) - top} more nodes)")
     return lines
 
 
@@ -342,6 +510,7 @@ def render_report(
     renderers = {
         "metrics": _metrics_section,
         "spans": _spans_section,
+        "traces": _traces_section,
         "hotspots": _hotspots_section,
         "samples": _samples_section,
     }
@@ -357,7 +526,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.telemetry.report",
         description="Summarize a telemetry JSONL export.",
     )
-    parser.add_argument("path", help="JSONL file written by the telemetry exporter")
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help=(
+            "JSONL exports to merge; a directory expands to its *.jsonl "
+            "files (e.g. a fleet state dir)"
+        ),
+    )
+    parser.add_argument(
+        "--offsets",
+        metavar="FILE",
+        help=(
+            "JSON mapping of file stem (or node ident) to a clock offset "
+            "added to that file's span timestamps before merging"
+        ),
+    )
     parser.add_argument(
         "--section",
         choices=_SECTIONS,
@@ -396,14 +580,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    offsets: dict[str, float] | None = None
+    if args.offsets:
+        try:
+            with open(args.offsets, encoding="utf-8") as handle:
+                offsets = {
+                    str(k): float(v) for k, v in json.load(handle).items()
+                }
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read offsets {args.offsets}: {exc}",
+                  file=sys.stderr)
+            return 2
     try:
-        with open(args.path, encoding="utf-8") as handle:
-            events = _load_events(handle)
-    except OSError as exc:
+        files = resolve_inputs(args.paths)
+        events = load_merged_events(files, offsets)
+    except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except ValueError as exc:
-        print(f"error: {args.path}: {exc}", file=sys.stderr)
+    if not events:
+        listed = ", ".join(str(f) for f in files)
+        print(f"error: no telemetry events in {listed}", file=sys.stderr)
         return 2
     sections = tuple(args.section) if args.section else _SECTIONS
     print(render_report(events, sections=sections, top=args.top), end="")

@@ -25,7 +25,14 @@ from typing import IO, TYPE_CHECKING, Callable, Iterator
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.hotspot import HotspotAccountant, LoadSample
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.telemetry.spans import NULL_SPAN, Span, SpanBase, SpanRecorder
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    TRACE_KEY,
+    Span,
+    SpanBase,
+    SpanRecorder,
+    TraceContext,
+)
 
 if TYPE_CHECKING:
     from repro.telemetry.stream import TelemetryStream
@@ -39,6 +46,11 @@ __all__ = [
     "enabled",
     "bind_clock",
     "span",
+    "trace_span",
+    "remote_span",
+    "current_span",
+    "tracing_enabled",
+    "propagate_current",
     "count",
     "observe",
     "gauge_set",
@@ -63,7 +75,12 @@ class Telemetry:
         self.metrics = MetricsRegistry(
             clock=self.now, default_buckets=self.config.default_buckets()
         )
-        self.spans = SpanRecorder(clock=self.now, max_spans=self.config.max_spans)
+        self.spans = SpanRecorder(
+            clock=self.now,
+            max_spans=self.config.max_spans,
+            site=self.config.site,
+            tracing=self.config.tracing,
+        )
         self._bucket_overrides = self.config.bucket_overrides()
         self._hotspots: dict[str, HotspotAccountant] = {}
         self._lock = threading.Lock()
@@ -120,6 +137,20 @@ class Telemetry:
     def span(self, name: str, **attrs: object) -> Span:
         """Open a span; finish it via context manager or ``finish()``."""
         return self.spans.start(name, **attrs)
+
+    def trace_span(self, name: str, **attrs: object) -> Span:
+        """Open a span rooting a new trace (ignores the ambient span)."""
+        return self.spans.start_trace(name, **attrs)
+
+    def remote_span(self, source: object, name: str, **attrs: object) -> Span:
+        """Open a span parented by a remote caller's trace context.
+
+        ``source`` may be a :class:`~repro.telemetry.spans.TraceContext`,
+        a message (anything with a ``payload`` dict), a payload dict, or
+        ``None`` — context extraction is tolerant, so handlers can pass
+        the incoming request unconditionally.
+        """
+        return self.spans.start_remote(TraceContext.extract(source), name, **attrs)
 
     # -- hotspot accounting ------------------------------------------------
 
@@ -274,6 +305,77 @@ def span(name: str, **attrs: object) -> SpanBase:
     if tel is None:
         return NULL_SPAN
     return tel.span(name, **attrs)
+
+
+def tracing_enabled() -> bool:
+    """Whether distributed tracing is on (runtime installed + ``tracing``).
+
+    Per-hop span sites gate on this so span name sets — and message byte
+    sizes — are unchanged for plain span-enabled runs.
+    """
+    tel = _active
+    return tel is not None and tel.spans.tracing
+
+
+def trace_span(name: str, **attrs: object) -> SpanBase:
+    """Open a span that roots a new trace on the active runtime.
+
+    Unlike :func:`span`, the new span takes no parent from this thread's
+    nesting stack — under tracing it mints a fresh ``trace_id``. Protocol
+    events that are causal units of their own (each continuous-mode DAT
+    push, each gather round) start here so they assemble into distinct
+    rooted trees even when a harness span (an experiment phase) is open.
+    Returns :data:`NULL_SPAN` when disabled.
+    """
+    tel = _active
+    if tel is None:
+        return NULL_SPAN
+    return tel.trace_span(name, **attrs)
+
+
+def remote_span(source: object, name: str, **attrs: object) -> SpanBase:
+    """Open a span joined to a remote caller's trace.
+
+    ``source`` is the incoming request (or its payload, or an explicit
+    :class:`~repro.telemetry.spans.TraceContext`). Returns
+    :data:`NULL_SPAN` unless tracing is enabled — remote spans are a
+    tracing-mode feature; plain span-enabled runs see no new span names.
+    """
+    tel = _active
+    if tel is None or not tel.spans.tracing:
+        return NULL_SPAN
+    return tel.remote_span(source, name, **attrs)
+
+
+def current_span() -> Span | None:
+    """The current thread's innermost open span (None when disabled)."""
+    tel = _active
+    if tel is None:
+        return None
+    return tel.spans.current()
+
+
+def propagate_current(message: object) -> None:
+    """Thread the current span's trace context into ``message``'s payload.
+
+    The ``repro.net`` send paths call this on every outbound message so
+    services get propagation for free. Fills only when the payload does
+    not already carry a context — forwarding hops that must *replace* the
+    incoming context do so explicitly via ``Span.propagate``. No-op when
+    tracing is off or no span is open.
+    """
+    tel = _active
+    if tel is None:
+        return
+    recorder = tel.spans
+    if not recorder.tracing:
+        return
+    current = recorder.current()
+    if current is None:
+        return
+    payload = getattr(message, "payload", None)
+    if isinstance(payload, dict) and TRACE_KEY not in payload:
+        current.propagate(message)
 
 
 def count(name: str, amount: float = 1.0, **labels: object) -> None:

@@ -44,6 +44,7 @@ def test_all_rules_registered():
         "DAT007",
         "DAT008",
         "DAT009",
+        "DAT014",
     ]
     assert [r.code for r in all_program_rules()] == [
         "DAT005",
@@ -379,6 +380,83 @@ def test_dat009_ignores_unrelated_call_methods(tmp_path):
     diagnostics, _ = lint_snippet(
         tmp_path, source, relpath="repro/core/somefeature.py"
     )
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# DAT014 — untraced multi-hop forwards
+# --------------------------------------------------------------------- #
+
+
+def test_dat014_flags_forward_without_context_threading(tmp_path):
+    source = (
+        "def _forward(self, message):\n"
+        "    payload = message.payload\n"
+        "    forward = Message(\n"
+        "        kind='scan',\n"
+        "        source=self.ident,\n"
+        "        destination=nxt,\n"
+        "        payload={**payload, 'hops': payload['hops'] + 1},\n"
+        "    )\n"
+        "    self.net.send(forward)\n"
+    )
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/maan/somefeature.py"
+    )
+    assert [d.rule for d in diagnostics] == ["DAT014"]
+    assert "propagate" in diagnostics[0].message
+
+
+def test_dat014_allows_forward_with_propagate(tmp_path):
+    source = (
+        "def _forward(self, message):\n"
+        "    payload = message.payload\n"
+        "    with telemetry.remote_span(message, 'scan_hop') as hop:\n"
+        "        forward = Message(\n"
+        "            kind='scan',\n"
+        "            source=self.ident,\n"
+        "            destination=nxt,\n"
+        "            payload={**payload, 'hops': payload['hops'] + 1},\n"
+        "        )\n"
+        "        hop.propagate(forward)\n"
+        "        self.net.send(forward)\n"
+    )
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/maan/somefeature.py"
+    )
+    assert diagnostics == []
+
+
+def test_dat014_allows_hand_managed_trace_key(tmp_path):
+    source = (
+        "def _forward(self, message):\n"
+        "    payload = dict(message.payload)\n"
+        "    payload.pop('_trace', None)\n"
+        "    fwd = Message(kind='scan', source=1, destination=2,\n"
+        "                  payload={**payload, 'hops': 1})\n"
+        "    self.net.send(fwd)\n"
+    )
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/chord/somefeature.py"
+    )
+    assert diagnostics == []
+
+
+def test_dat014_ignores_fresh_payloads_and_other_layers(tmp_path):
+    fresh = (
+        "def _reply(self, message):\n"
+        "    self.net.send(Message(kind='ok', source=1, destination=2,\n"
+        "                          payload={'value': 3}))\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, fresh, relpath="repro/core/feature.py")
+    assert diagnostics == []
+    # Infrastructure layers carry contexts opaquely and are exempt.
+    forward = (
+        "def relay(self, message):\n"
+        "    self.send(Message(kind='x', source=1, destination=2,\n"
+        "                      payload={**message.payload}))\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, forward, relpath="repro/net/relay.py")
     assert diagnostics == []
 
 

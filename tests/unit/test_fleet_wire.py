@@ -21,6 +21,7 @@ class TestRoundTrip:
         "frame",
         [
             Hello(ident=42, pid=1234, udp_host="127.0.0.1", udp_port=54321),
+            Hello(ident=7, pid=99, udp_host="::1", udp_port=1, clock=12.345678),
             Request(op="status", req_id=7),
             Request(op="join", req_id=8, args={"bootstrap": 9374, "timeout": 5.0}),
             Reply(req_id=7, ok=True, result={"successor": 25758}),
@@ -43,6 +44,30 @@ class TestRoundTrip:
     def test_reply_error_omitted_when_empty(self):
         obj = json.loads(encode_frame(Reply(req_id=1, ok=True)))
         assert "error" not in obj
+
+    def test_hello_without_clock_decodes_to_zero(self):
+        # Backward compatibility: pre-tracing agents send no clock field;
+        # the supervisor degrades to "no alignment" for them.
+        line = json.dumps(
+            {"hello": {"ident": 1, "pid": 2, "udp_host": "h", "udp_port": 3}}
+        )
+        frame = decode_frame(line + "\n")
+        assert isinstance(frame, Hello) and frame.clock == 0.0
+
+    def test_hello_null_clock_decodes_to_zero(self):
+        line = json.dumps(
+            {
+                "hello": {
+                    "ident": 1,
+                    "pid": 2,
+                    "udp_host": "h",
+                    "udp_port": 3,
+                    "clock": None,
+                }
+            }
+        )
+        frame = decode_frame(line + "\n")
+        assert isinstance(frame, Hello) and frame.clock == 0.0
 
 
 class TestMalformed:
