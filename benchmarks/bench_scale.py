@@ -15,12 +15,20 @@ Runs two ways:
 * standalone for the CI scale-smoke job::
 
       python benchmarks/bench_scale.py --sizes 16384 \\
+          --protocol-sizes 4096,65536 \\
           --check benchmarks/scale_threshold.json \\
           --out BENCH_scale.json
 
   With ``--check`` the exit code is non-zero when a size exceeds its
   stored time budget or any oracle comparison diverges — the regression
   gate.
+
+``--protocol-sizes`` adds *live-protocol* rows: the slab path
+(:func:`repro.core.slab.run_protocol_slab`) exchanging real continuous-push
+messages through :class:`~repro.sim.simnet.SimTransport`, compared
+bit-for-bit against one :class:`~repro.core.service.DatNodeService` per
+node up to ``PROTOCOL_ORACLE_MAX`` nodes, with per-mode peak RSS and a
+slab-state memory gate (``protocol.max_state_bytes_per_node``).
 """
 
 from __future__ import annotations
@@ -33,12 +41,20 @@ import sys
 import time
 
 from repro import telemetry
-from repro.experiments.scale import SCALE_SIZES, measure_scale_point
+from repro.experiments.scale import (
+    PROTOCOL_SIZES,
+    SCALE_SIZES,
+    measure_protocol_point,
+    measure_scale_point,
+)
 
 BITS = 32
 #: Largest size where the object-based oracle runs alongside the fast path
 #: (a few seconds); beyond this only the array-native path is affordable.
 ORACLE_MAX_NODES = 16384
+#: Largest size where the *protocol* oracle (one DatNodeService per node,
+#: every push a real JSON message) runs alongside the slab path (~10 s).
+PROTOCOL_ORACLE_MAX = 4096
 RESULT_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
 THRESHOLD_PATH = pathlib.Path(__file__).parent / "scale_threshold.json"
 
@@ -90,21 +106,84 @@ def run_suite(
     seed: int = 2007,
     id_strategy: str = "probing",
     oracle_max: int = ORACLE_MAX_NODES,
+    protocol_sizes: list[int] | None = None,
+    protocol_oracle_max: int = PROTOCOL_ORACLE_MAX,
 ) -> dict[str, object]:
     rows = [
         measure(n, seed=seed, id_strategy=id_strategy, oracle_max=oracle_max)
         for n in sizes
     ]
+    protocol_rows = run_protocol_suite(
+        protocol_sizes or [],
+        seed=seed,
+        id_strategy=id_strategy,
+        oracle_max=protocol_oracle_max,
+    )
     return {
         "config": {
             "bits": BITS,
             "sizes": sizes,
+            "protocol_sizes": protocol_sizes or [],
             "seed": seed,
             "id_strategy": id_strategy,
             "oracle_max_nodes": oracle_max,
+            "protocol_oracle_max_nodes": protocol_oracle_max,
         },
         "results": rows,
+        "protocol_results": protocol_rows,
     }
+
+
+def measure_protocol(
+    n_nodes: int,
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    oracle_max: int = PROTOCOL_ORACLE_MAX,
+) -> dict[str, object]:
+    """One live-protocol point: slab timing/memory, oracle equality when affordable.
+
+    The exactness comparison covers every protocol-observable field —
+    estimate, message/byte/push totals, max load, imbalance — but not
+    ``state_bytes_per_node``, which measures the slab's own array footprint
+    (the oracle's object webs report 0).
+    """
+    start = time.perf_counter()
+    point = measure_protocol_point(
+        n_nodes, bits=BITS, seed=seed, id_strategy=id_strategy
+    )
+    elapsed = time.perf_counter() - start
+    telemetry.gauge_set(
+        "scale_protocol_seconds", elapsed, n=n_nodes, ids=id_strategy
+    )
+
+    row: dict[str, object] = dict(point.as_row())
+    row["mode"] = "protocol"
+    row["seconds"] = round(elapsed, 3)
+    row["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    if n_nodes <= oracle_max:
+        oracle_start = time.perf_counter()
+        oracle = measure_protocol_point(
+            n_nodes, bits=BITS, seed=seed, id_strategy=id_strategy, oracle=True
+        )
+        row["oracle_seconds"] = round(time.perf_counter() - oracle_start, 3)
+        row["oracle_checked"] = True
+        row["oracle_identical"] = point.exactness_key() == oracle.exactness_key()
+    else:
+        row["oracle_checked"] = False
+        row["oracle_identical"] = None
+    return row
+
+
+def run_protocol_suite(
+    sizes: list[int],
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    oracle_max: int = PROTOCOL_ORACLE_MAX,
+) -> list[dict[str, object]]:
+    return [
+        measure_protocol(n, seed=seed, id_strategy=id_strategy, oracle_max=oracle_max)
+        for n in sizes
+    ]
 
 
 def _format(payload: dict[str, object]) -> str:
@@ -128,11 +207,31 @@ def _format(payload: dict[str, object]) -> str:
             f"{row['basic_imbalance']:>7.2f} {row['balanced_imbalance']:>8.2f} "
             f"{oracle:>7}"
         )
+    protocol_rows = payload.get("protocol_results") or []  # type: ignore[union-attr]
+    if protocol_rows:
+        lines.append("")
+        lines.append("Live protocol (slab path) — continuous push, real messages")
+        lines.append(
+            f"{'n':>7} {'sec':>8} {'rss_mb':>8} {'messages':>9} "
+            f"{'bytes':>11} {'imb':>6} {'B/node':>7} {'conv':>5} {'oracle':>7}"
+        )
+        for row in protocol_rows:
+            oracle = (
+                "same"
+                if row["oracle_identical"]
+                else ("DIFF" if row["oracle_checked"] else "-")
+            )
+            lines.append(
+                f"{row['n']:>7} {row['seconds']:>8} {row['peak_rss_mb']:>8} "
+                f"{row['messages_total']:>9} {row['bytes_total']:>11} "
+                f"{row['imbalance']:>6.2f} {row['state_bytes_per_node']:>7.0f} "
+                f"{str(bool(row['converged'])):>5} {oracle:>7}"
+            )
     return "\n".join(lines)
 
 
 def _check(payload: dict[str, object], threshold_path: pathlib.Path) -> list[str]:
-    """Regression gate: per-size time budgets + oracle exactness."""
+    """Regression gate: per-size time budgets + oracle exactness (both modes)."""
     threshold = json.loads(threshold_path.read_text())
     budgets = {int(k): float(v) for k, v in threshold["max_seconds"].items()}
     failures: list[str] = []
@@ -155,6 +254,50 @@ def _check(payload: dict[str, object], threshold_path: pathlib.Path) -> list[str
                 failures.append(
                     f"n={row['n']}: fast-path statistics diverged from the "
                     "object-based oracle"
+                )
+    failures.extend(_check_protocol(payload, threshold))
+    return failures
+
+
+def _check_protocol(
+    payload: dict[str, object], threshold: dict[str, object]
+) -> list[str]:
+    """Protocol-mode gate: time budgets, oracle exactness, memory per node."""
+    gate = threshold.get("protocol")
+    rows = payload.get("protocol_results") or []  # type: ignore[union-attr]
+    if not isinstance(gate, dict) or not rows:
+        return []
+    failures: list[str] = []
+    budgets = {int(k): float(v) for k, v in gate.get("max_seconds", {}).items()}
+    max_state = gate.get("max_state_bytes_per_node")
+    for row in rows:
+        n = int(row["n"])  # type: ignore[arg-type]
+        budget = budgets.get(n)
+        if budget is not None and float(row["seconds"]) > budget:  # type: ignore[arg-type]
+            failures.append(
+                f"protocol n={n}: {row['seconds']}s exceeds budget {budget}s"
+            )
+        if not row["converged"]:
+            failures.append(f"protocol n={n}: estimate did not converge")
+        if max_state is not None and float(
+            row["state_bytes_per_node"]  # type: ignore[arg-type]
+        ) > float(max_state):
+            failures.append(
+                f"protocol n={n}: {row['state_bytes_per_node']:.0f} B/node "
+                f"exceeds {max_state} B/node"
+            )
+    if gate.get("require_oracle_identical", False):
+        checked = [r for r in rows if r["oracle_checked"]]
+        if not checked:
+            failures.append(
+                "protocol exactness gate requires at least one oracle-checked "
+                f"size (<= {PROTOCOL_ORACLE_MAX} nodes)"
+            )
+        for row in checked:
+            if not row["oracle_identical"]:
+                failures.append(
+                    f"protocol n={row['n']}: slab run diverged from the "
+                    "per-node service oracle"
                 )
     return failures
 
@@ -213,6 +356,28 @@ def test_scale_large_sweep(emit, large):
     assert at_131k["seconds"] < 300.0, at_131k
 
 
+def test_protocol_slab_matches_service_oracle(emit):
+    """Slab protocol runs are bit-identical to per-node services (small n)."""
+    rows = run_protocol_suite([512, 1024], seed=2007)
+    assert all(row["oracle_checked"] for row in rows)
+    assert all(row["oracle_identical"] for row in rows), rows
+    assert all(row["converged"] for row in rows), rows
+
+
+def test_protocol_slab_budget_at_65536(emit):
+    """Acceptance: live protocol at 65536 nodes within time and memory budgets."""
+    row = measure_protocol(65536, seed=2007)
+    emit(
+        "scale_protocol",
+        f"n=65536 protocol: {row['seconds']}s, "
+        f"{row['state_bytes_per_node']:.0f} B/node, "
+        f"rss {row['peak_rss_mb']} MiB",
+    )
+    assert row["converged"], row
+    assert float(row["seconds"]) < 120.0, row
+    assert float(row["state_bytes_per_node"]) <= 4096.0, row
+
+
 # --------------------------------------------------------------------- #
 # Standalone CLI (CI scale-smoke job)
 # --------------------------------------------------------------------- #
@@ -224,6 +389,14 @@ def main(argv: list[str] | None = None) -> int:
         "--sizes",
         default=",".join(str(n) for n in SCALE_SIZES),
         help="comma-separated ring sizes",
+    )
+    parser.add_argument(
+        "--protocol-sizes",
+        default="",
+        help=(
+            "comma-separated ring sizes for the live-protocol (slab) mode; "
+            f"empty skips it (defaults: {PROTOCOL_SIZES})"
+        ),
     )
     parser.add_argument("--seed", type=int, default=2007)
     parser.add_argument("--ids", default="probing", help="identifier strategy")
@@ -238,7 +411,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     sizes = [int(part) for part in args.sizes.split(",") if part]
-    payload = run_suite(sizes, seed=args.seed, id_strategy=args.ids)
+    protocol_sizes = [int(part) for part in args.protocol_sizes.split(",") if part]
+    payload = run_suite(
+        sizes, seed=args.seed, id_strategy=args.ids, protocol_sizes=protocol_sizes
+    )
     print(_format(payload))
 
     out_path = pathlib.Path(args.out)

@@ -1,0 +1,242 @@
+"""Slim protocol-node block: a whole ring's routing state as shared arrays.
+
+The object path gives every node a :class:`~repro.chord.node.ChordNode` with
+its own finger list — fine to ~10^4 nodes, prohibitive at 10^5+. In
+bulk-simulation mode the whole converged ring is represented once, here, as
+
+* the sorted identifier vector (shared with :class:`~repro.chord.ring.StaticRing`
+  / :class:`~repro.chord.ringarray.RingArray`), and
+* the fastbuild finger matrix (``(n, bits)`` int64 — row ``i`` is node
+  ``i``'s finger table), built with two ``searchsorted`` passes.
+
+Per-node state is ~``8 * bits`` bytes of one shared matrix instead of a
+Python object graph, and the protocol's parent rule runs for *all* nodes at
+once (:meth:`ChordNodeBlock.key_parents`). :class:`MatrixFingerView` adapts
+one row back to the :class:`~repro.chord.fingers.FingerLike` interface, so
+scalar consumers (parent selection, routing probes, tests) can read the
+block without materializing tables.
+
+Bit-exactness contract: :meth:`ChordNodeBlock.key_parents` reproduces
+``DatNodeService.parent_toward_key`` — the *key-addressed* Algorithm 1
+rule, including the balanced scheme's float-estimated ``d0`` path through
+:class:`~repro.core.limiting.FingerLimiter.for_gap` — for every node,
+asserted in ``tests/unit/test_block.py`` and the protocol property suite.
+(The root-addressed kernel in :mod:`repro.chord.fastbuild` is a different
+rule: it measures eligibility against the root, not the key.)
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.chord.fastbuild import (
+    FAST_PATH_MAX_BITS,
+    _cw,
+    _vectorized_ceil_log2,
+    fast_finger_matrix,
+)
+from repro.chord.idspace import IdSpace
+from repro.chord.ring import StaticRing
+from repro.core.limiting import FingerLimiter
+from repro.errors import IdentifierError, TreeError
+
+__all__ = ["ChordNodeBlock", "MatrixFingerView", "balanced_limits"]
+
+
+class MatrixFingerView:
+    """One node's finger table as a view of the block's shared matrix.
+
+    Implements :class:`~repro.chord.fingers.FingerLike`; query semantics
+    are identical to :class:`~repro.chord.fingers.FingerTable` over the
+    same entries (asserted in ``tests/unit/test_block.py``). No storage is
+    copied — the view holds the row.
+    """
+
+    __slots__ = ("space", "owner", "_row")
+
+    def __init__(self, space: IdSpace, owner: int, row: np.ndarray) -> None:
+        self.space = space
+        self.owner = owner
+        self._row = row
+
+    @property
+    def successor(self) -> int:
+        """Slot 0 — the owner's immediate successor."""
+        return int(self._row[0])
+
+    def finger(self, j: int) -> int:
+        """Node in slot ``j`` (the first node succeeding ``owner + 2^j``)."""
+        if not 0 <= j < self.space.bits:
+            raise IdentifierError(f"finger index {j} outside [0, {self.space.bits})")
+        return int(self._row[j])
+
+    def closest_preceding(self, key: int, max_slot: int | None = None) -> int | None:
+        """Finger that most closely precedes-or-reaches ``key`` from ``owner``.
+
+        Same scan as :meth:`FingerTable.closest_preceding`: highest slot
+        whose finger does not overshoot ``cw(owner, key)``, restricted to
+        ``0..max_slot`` for the balanced scheme.
+        """
+        space = self.space
+        target_distance = space.cw(self.owner, key)
+        if target_distance == 0:
+            return None
+        top = space.bits - 1 if max_slot is None else min(max_slot, space.bits - 1)
+        entries = self._row.tolist()
+        for j in range(top, -1, -1):
+            node = entries[j]
+            if node == self.owner:
+                continue
+            if space.cw(self.owner, node) <= target_distance:
+                return node
+        return None
+
+    def __len__(self) -> int:
+        return len(self._row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MatrixFingerView(owner={self.owner})"
+
+
+def balanced_limits(x: np.ndarray, d0: float | Fraction) -> np.ndarray:
+    """``g(x)`` for an array of distances, exactly.
+
+    Vectorizes :func:`repro.core.limiting.finger_limit`: with
+    ``d0 = p/q``, the limit is ``ceil_log2(max(ceil((x*q + 2p)/(3q)), 1))``.
+    The integer path runs whenever the numerators provably fit in int64
+    and the ceilings stay inside float64's exact range (always true for the
+    power-of-two populations the scale benchmarks use, where ``q == 1``);
+    otherwise each element goes through the scalar
+    :class:`~repro.core.limiting.FingerLimiter`, trading speed for the
+    same exact answers.
+    """
+    gap = d0 if isinstance(d0, Fraction) else Fraction(d0).limit_denominator(10**12)
+    if gap <= 0:
+        raise ValueError(f"d0 must be positive, got {d0}")
+    x = np.asarray(x, dtype=np.int64)
+    p, q = gap.numerator, gap.denominator
+    x_max = int(x.max()) if x.size else 0
+    if x_max * q + 2 * p < 2**62:
+        numerator = x * np.int64(q) + np.int64(2 * p)
+        m = np.maximum(-((-numerator) // np.int64(3 * q)), np.int64(1))
+        m_max = int(m.max()) if m.size else 0
+        if m_max < 2**53:
+            return _vectorized_ceil_log2(m)
+    limiter = FingerLimiter(d0=gap)
+    return np.fromiter(
+        (limiter(xi) for xi in x.tolist()), dtype=np.int64, count=x.size
+    )
+
+
+class ChordNodeBlock:
+    """All protocol nodes of one converged ring, array-backed.
+
+    Construction is two ``searchsorted`` passes over the sorted identifier
+    vector (via :func:`~repro.chord.fastbuild.fast_finger_matrix`); the
+    block is immutable and shared by every consumer — the slab protocol
+    runner, finger views, and the scale benchmarks all read the same
+    ``(n, bits)`` matrix.
+    """
+
+    __slots__ = ("space", "ids", "matrix")
+
+    def __init__(self, space: IdSpace, ids: np.ndarray, matrix: np.ndarray) -> None:
+        if matrix.shape != (len(ids), space.bits):
+            raise TreeError(
+                f"finger matrix shape {matrix.shape} does not match "
+                f"({len(ids)} nodes, {space.bits} bits)"
+            )
+        self.space = space
+        self.ids = ids
+        self.matrix = matrix
+
+    @classmethod
+    def from_ring(cls, ring: StaticRing) -> "ChordNodeBlock":
+        """Snapshot a converged ring (``bits <= FAST_PATH_MAX_BITS``)."""
+        if ring.space.bits > FAST_PATH_MAX_BITS:
+            raise TreeError(
+                f"protocol block supports bits <= {FAST_PATH_MAX_BITS}, "
+                f"got {ring.space.bits}; use the object path"
+            )
+        if len(ring) == 0:
+            raise TreeError("protocol block requires a non-empty ring")
+        return cls(
+            space=ring.space,
+            ids=ring.id_index().ids,
+            matrix=fast_finger_matrix(ring),
+        )
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def index_of(self, ident: int) -> int:
+        """Position of ``ident`` in the sorted identifier vector."""
+        i = int(np.searchsorted(self.ids, np.int64(ident)))
+        if i == len(self.ids) or int(self.ids[i]) != ident:
+            raise IdentifierError(f"identifier {ident} is not in the block")
+        return i
+
+    def owner_index(self, key: int) -> int:
+        """Position of ``successor(key)`` — the key's owner/root."""
+        i = int(np.searchsorted(self.ids, np.int64(self.space.wrap(key))))
+        return 0 if i == len(self.ids) else i
+
+    def finger_view(self, i: int) -> MatrixFingerView:
+        """Node ``i``'s finger table as a :class:`FingerLike` view."""
+        return MatrixFingerView(self.space, int(self.ids[i]), self.matrix[i])
+
+    def successors(self) -> np.ndarray:
+        """Every node's immediate successor (matrix slot 0)."""
+        return self.matrix[:, 0]
+
+    def key_parents(
+        self,
+        key: int,
+        scheme: str = "balanced",
+        d0: float | Fraction | None = None,
+    ) -> np.ndarray:
+        """Every node's ``parent_toward_key(key)`` in one pass.
+
+        Returns an int64 array aligned with :attr:`ids`: element ``i`` is
+        the parent identifier node ``i`` pushes to, or ``-1`` where the
+        scalar rule returns ``None`` (a lone ring — in a converged
+        multi-node ring every node has a parent; the key's *owner* gets its
+        own successor-ward parent too, exactly like the scalar rule, and
+        callers exclude it because the owner finalizes instead of pushing).
+
+        ``d0`` defaults to the overlay's estimate ``space.size / n`` —
+        passed through :class:`FingerLimiter.for_gap` float conversion so
+        balanced limits match ``DatNodeService`` bit-for-bit.
+        """
+        if scheme not in ("basic", "balanced"):
+            raise ValueError(f"unknown scheme {scheme!r}")
+        space = self.space
+        mask = space.max_id
+        n = len(self)
+        x = _cw(mask, self.ids, np.broadcast_to(np.int64(key), self.ids.shape))
+        finger_dist = _cw(mask, self.ids[:, np.newaxis], self.matrix)
+        eligible = (finger_dist > 0) & (finger_dist <= x[:, np.newaxis])
+        slots = np.arange(space.bits, dtype=np.int64)[np.newaxis, :]
+        if scheme == "balanced":
+            gap = space.size / n if d0 is None else d0
+            limits = balanced_limits(x, gap)
+            eligible &= slots <= limits[:, np.newaxis]
+        best = np.where(eligible, slots, np.int64(-1)).max(axis=1)
+        parents = self.matrix[np.arange(n), np.maximum(best, 0)].copy()
+        # No eligible finger: fall back to the successor (the owner's
+        # predecessor lands here), or no parent at all on a lone ring.
+        fallback = best < 0
+        successor = self.matrix[:, 0]
+        parents[fallback] = np.where(
+            successor[fallback] != self.ids[fallback], successor[fallback], np.int64(-1)
+        )
+        return parents
+
+    def state_nbytes(self) -> int:
+        """Bytes of array state held by the block (ids + finger matrix)."""
+        return int(self.ids.nbytes + self.matrix.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ChordNodeBlock(n={len(self)}, bits={self.space.bits})"

@@ -10,11 +10,36 @@ shortcut child discovery; :class:`FingerTable` supports attaching that layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.chord.idspace import IdSpace
 from repro.errors import IdentifierError
 
-__all__ = ["FingerTable"]
+__all__ = ["FingerLike", "FingerTable"]
+
+
+@runtime_checkable
+class FingerLike(Protocol):
+    """What parent selection actually needs from a finger table.
+
+    Both :class:`FingerTable` (per-node object, the oracle path) and
+    :class:`repro.chord.block.MatrixFingerView` (a row of the shared
+    fastbuild matrix, the bulk-simulation path) satisfy this; protocol
+    services (:mod:`repro.core.service`, :mod:`repro.core.parent`) are
+    typed against it so either representation plugs in.
+    """
+
+    space: IdSpace
+    owner: int
+
+    @property
+    def successor(self) -> int:
+        """Slot 0 — the owner's immediate successor."""
+        ...
+
+    def closest_preceding(self, key: int, max_slot: int | None = None) -> int | None:
+        """Finger that most closely precedes-or-reaches ``key`` from ``owner``."""
+        ...
 
 
 @dataclass
@@ -40,6 +65,31 @@ class FingerTable:
             )
         for entry in self.entries:
             self.space.validate(entry)
+
+    @classmethod
+    def trusted(
+        cls,
+        space: IdSpace,
+        owner: int,
+        entries: list[int],
+        fingers_of_fingers: dict[int, list[int]] | None = None,
+    ) -> "FingerTable":
+        """Construct without per-entry validation (hot-path builder).
+
+        ``ChordNode.finger_table`` assembles a table on every parent
+        selection from entries that are already space-validated; re-checking
+        ``bits`` entries per call made table construction O(bits) of pure
+        overhead. Callers own the invariant that every entry (and the
+        owner) is a valid identifier of ``space``.
+        """
+        table = cls.__new__(cls)
+        table.space = space
+        table.owner = owner
+        table.entries = entries
+        table.fingers_of_fingers = (
+            fingers_of_fingers if fingers_of_fingers is not None else {}
+        )
+        return table
 
     # ------------------------------------------------------------------ #
 

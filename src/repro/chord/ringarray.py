@@ -2,9 +2,13 @@
 
 :class:`RingArray` is the storage engine behind large
 :class:`~repro.chord.ring.StaticRing` instances (the 10^5–10^6-node
-experiments). It holds the entire membership as one sorted ``int64`` NumPy
-vector — no per-node Python objects — and answers successor/predecessor/
-index queries with ``searchsorted``, scalar or batched. The object-backed
+experiments): a freshly constructed ``StaticRing`` delegates here
+automatically from ``ARRAY_BACKED_THRESHOLD`` (16384) members up, in
+spaces of at most :data:`ARRAY_MAX_BITS` (62) bits — the same switchover
+documented in ``docs/PERFORMANCE.md``. It holds the entire membership as
+one sorted ``int64`` NumPy vector — no per-node Python objects — and
+answers successor/predecessor/index queries with ``searchsorted``, scalar
+or batched. The object-backed
 ring keeps the exact same semantics at small n; the equivalence is asserted
 pair-for-pair in ``tests/unit/test_ringarray.py`` and the property suite.
 

@@ -131,7 +131,13 @@ class DatOverlay:
         )
 
     def remove_node(self, ident: int, graceful: bool = True) -> None:
-        """Depart a node (closes its DAT service first)."""
+        """Depart a node (closes its DAT service first).
+
+        Teardown cost is proportional to the *departing node's own* state
+        (its active keys, its pending RPCs via the transport's per-source
+        index) — no scan over the remaining membership, so mass departures
+        at 10^5 nodes stay linear overall instead of quadratic.
+        """
         service = self.services.pop(ident, None)
         if service is not None:
             # Full teardown, not just stop_continuous: the service also

@@ -14,20 +14,22 @@ at the tree root ``r = successor(k)``:
   as recorded in DESIGN.md Sec. 5 (largest qualifying finger wins; ``x`` is
   the distance to the root per the Sec. 3.4 prose).
 
-Both functions operate on a :class:`~repro.chord.fingers.FingerTable`, so
+Both functions operate on any :class:`~repro.chord.fingers.FingerLike`
+view (a per-node :class:`~repro.chord.fingers.FingerTable` or a
+:class:`~repro.chord.block.MatrixFingerView` row of the shared matrix), so
 the same code serves the static analytical model and the protocol nodes.
 """
 
 from __future__ import annotations
 
-from repro.chord.fingers import FingerTable
+from repro.chord.fingers import FingerLike
 from repro.core.limiting import FingerLimiter
 from repro.errors import TreeError
 
 __all__ = ["select_parent_basic", "select_parent_balanced"]
 
 
-def select_parent_basic(table: FingerTable, root: int) -> int | None:
+def select_parent_basic(table: FingerLike, root: int) -> int | None:
     """Parent of ``table.owner`` in the basic DAT rooted at ``root``.
 
     Returns ``None`` for the root itself. For every other node the finger
@@ -48,7 +50,7 @@ def select_parent_basic(table: FingerTable, root: int) -> int | None:
 
 
 def select_parent_balanced(
-    table: FingerTable, root: int, limiter: FingerLimiter
+    table: FingerLike, root: int, limiter: FingerLimiter
 ) -> int | None:
     """Parent of ``table.owner`` in the balanced DAT rooted at ``root``.
 

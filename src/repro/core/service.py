@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, cast
 
 from repro import telemetry
-from repro.chord.fingers import FingerTable
+from repro.chord.fingers import FingerLike
 from repro.chord.host import ChordHost
 from repro.chord.idspace import IdSpace
 from repro.core.aggregates import Aggregate, get_aggregate
@@ -165,7 +165,7 @@ class DatNodeService:
     def __init__(
         self,
         host: ChordHost,
-        finger_provider: Callable[[], FingerTable],
+        finger_provider: Callable[[], FingerLike],
         value_provider: Callable[[], float],
         scheme: str = "balanced",
         d0_provider: Callable[[], float] | None = None,

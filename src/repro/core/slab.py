@@ -1,0 +1,501 @@
+"""Slab-backed continuous aggregation: whole protocol rounds as array ops.
+
+This is the core-layer piece of the bulk-simulation path. One
+:class:`SlabContinuousRun` replaces ``n`` :class:`~repro.core.service.DatNodeService`
+instances for a single rendezvous key on a static converged ring: node
+state lives in a handful of shared NumPy columns (local values, per-child
+cached partial states, receipt clocks), tree structure is the immutable
+parent array derived from one shared :class:`~repro.chord.block.ChordNodeBlock`,
+and each push interval executes as
+
+1. one vectorized merge (local lift + scatter-add of fresh child states,
+   in ascending-child order — the exact fold order of the object path),
+2. one :class:`~repro.sim.messages.MessageBatch` through
+   :meth:`~repro.sim.simnet.SimTransport.send_batch` (per-message wire
+   sizes computed arithmetically, one engine event per latency group),
+3. one vectorized cache update when the batch delivers.
+
+**Equivalence contract.** :func:`run_protocol_slab` is bit-identical to
+:func:`run_protocol_oracle` — the same scenario driven through real
+``DatNodeService`` objects — in root estimate, per-node message/byte
+accounting, and push counts, for the loss-free case with any supported
+aggregate and for lossy runs with order-insensitive aggregates
+(``count``/``min``/``max``; under loss the object path's child-dict
+*insertion order* depends on which pushes survived, so float-sum fold
+order is not reproducible by any fixed-order kernel). Asserted in
+``tests/property/test_prop_protocol.py`` at n <= 4096 for both schemes.
+
+Supported aggregates: ``sum``, ``count``, ``min``, ``max``, ``avg``.
+The long-tail aggregates (histogram, top-k, std) keep the object path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro import telemetry
+from repro.chord.block import ChordNodeBlock
+from repro.chord.ring import StaticRing
+from repro.core.aggregates import get_aggregate
+from repro.core.service import DatNodeService, StandaloneDatHost
+from repro.errors import AggregationError
+from repro.sim.messages import (
+    MessageBatch,
+    envelope_overhead,
+    float_repr_lengths,
+    int_digit_counts,
+    reserve_msg_ids,
+)
+from repro.sim.simnet import SimTransport
+
+__all__ = [
+    "SLAB_AGGREGATES",
+    "ProtocolRunResult",
+    "SlabContinuousRun",
+    "run_protocol_slab",
+    "run_protocol_oracle",
+]
+
+#: Aggregates the slab path supports (partial state fits in 1-2 columns).
+SLAB_AGGREGATES = ("sum", "count", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class ProtocolRunResult:
+    """Outcome of one continuous-push protocol run (either path).
+
+    Per-node arrays are aligned with ``ids`` (ascending identifiers); they
+    come from the transport's :class:`~repro.telemetry.hotspot.HotspotAccountant`,
+    so the equivalence tests compare the *accounted wire traffic*, not an
+    internal proxy.
+    """
+
+    n_nodes: int
+    scheme: str
+    aggregate: str
+    key: int
+    root: int
+    rounds: int
+    estimate: Any
+    pushes_total: int
+    ids: np.ndarray
+    sent: np.ndarray
+    received: np.ndarray
+    bytes_sent: np.ndarray
+    bytes_received: np.ndarray
+    state_bytes: int
+
+    @property
+    def messages_total(self) -> int:
+        return int(self.sent.sum())
+
+    @property
+    def bytes_total(self) -> int:
+        return int(self.bytes_sent.sum())
+
+
+def _per_node_traffic(
+    transport: SimTransport, ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-node (sent, received, bytes_sent, bytes_received) arrays."""
+    n = len(ids)
+    sent = np.zeros(n, dtype=np.int64)
+    received = np.zeros(n, dtype=np.int64)
+    bytes_sent = np.zeros(n, dtype=np.int64)
+    bytes_received = np.zeros(n, dtype=np.int64)
+    for i, ident in enumerate(ids.tolist()):
+        load = transport.stats.load(ident)
+        sent[i] = load.sent
+        received[i] = load.received
+        bytes_sent[i] = load.bytes_sent
+        bytes_received[i] = load.bytes_received
+    return sent, received, bytes_sent, bytes_received
+
+
+class SlabContinuousRun:
+    """Continuous-push aggregation for one key, all nodes in one object.
+
+    Parameters
+    ----------
+    block:
+        Shared routing state of the converged ring.
+    transport:
+        Simulated transport; rounds ride its engine and its accounting.
+    key:
+        Rendezvous key; the owner (``successor(key)``) finalizes instead
+        of pushing.
+    aggregate:
+        One of :data:`SLAB_AGGREGATES`.
+    values:
+        Local reading per node, aligned with ``block.ids``.
+    scheme:
+        ``"basic"`` or ``"balanced"`` parent selection.
+    interval, stale_after:
+        As in :meth:`DatNodeService.start_continuous`: push period and the
+        child-state expiry horizon in intervals.
+    d0:
+        Mean-gap estimate for the balanced limiter; defaults to the
+        overlay's convention ``space.size / n`` (a float, deliberately —
+        the limiter's float-to-Fraction conversion is part of the
+        bit-exactness contract with the object path).
+    """
+
+    def __init__(
+        self,
+        block: ChordNodeBlock,
+        transport: SimTransport,
+        key: int,
+        aggregate: str,
+        values: np.ndarray,
+        scheme: str = "balanced",
+        interval: float = 1.0,
+        stale_after: float = 4.0,
+        d0: float | None = None,
+    ) -> None:
+        if aggregate not in SLAB_AGGREGATES:
+            raise AggregationError(
+                f"slab path supports {SLAB_AGGREGATES}, got {aggregate!r} "
+                "(use the object path for long-tail aggregates)"
+            )
+        n = len(block)
+        if len(values) != n:
+            raise AggregationError(
+                f"values length {len(values)} does not match {n} nodes"
+            )
+        self.block = block
+        self.transport = transport
+        self.key = int(key)
+        self.aggregate = aggregate
+        self.scheme = scheme
+        self.interval = float(interval)
+        self.stale_after = float(stale_after)
+        self.values = np.asarray(values, dtype=np.float64)
+
+        d0_est = block.space.size / n if d0 is None else d0
+        parents = block.key_parents(self.key, scheme=scheme, d0=d0_est)
+        self.owner_index = block.owner_index(self.key)
+        self.root = int(block.ids[self.owner_index])
+        # Push rows: every node with a parent except the owner, ascending —
+        # the same order the object services tick in (they are started in
+        # ascending-ident order and the engine breaks ties by insertion).
+        has_parent = parents >= 0
+        has_parent[self.owner_index] = False
+        self.push_rows = np.flatnonzero(has_parent)
+        self.parent_ids = parents[self.push_rows]
+        self.parent_index = np.searchsorted(block.ids, self.parent_ids)
+
+        # Per-child cache: the partial state each node last *delivered* to
+        # its parent, plus the receipt clock — the slab analogue of every
+        # parent's ``child_states`` dict, keyed by child since each child
+        # has exactly one parent for this key.
+        self.cached_at = np.full(n, -np.inf, dtype=np.float64)
+        self.has_entry = np.zeros(n, dtype=bool)
+        if aggregate == "count":
+            self._lift = np.ones(n, dtype=np.int64)
+            self.cache = [np.zeros(n, dtype=np.int64)]
+        elif aggregate == "avg":
+            self._lift = None
+            self.cache = [np.zeros(n, dtype=np.float64), np.zeros(n, dtype=np.int64)]
+        else:
+            self._lift = None
+            self.cache = [np.zeros(n, dtype=np.float64)]
+
+        self.estimate: Any = None
+        self.pushes_sent = np.zeros(n, dtype=np.int64)
+        self.rounds_run = 0
+
+        # Wire-size constants (see sim.messages): everything but the
+        # src/dst/msg_id numerals and the state body is fixed per key.
+        base = envelope_overhead("agg_push")
+        payload_probe = json.dumps(
+            {"key": self.key, "state": 0}, separators=(",", ":")
+        )
+        self._fixed_overhead = base + len(payload_probe) - 1  # minus the "0"
+        self._tuple_overhead = (
+            len(json.dumps({"__tuple__": [0, 0]}, separators=(",", ":"))) - 2
+        )
+        self._src_digits = int_digit_counts(block.ids[self.push_rows])
+        self._dst_digits = int_digit_counts(self.parent_ids)
+
+        self._cancel: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def _merged_columns(self, now: float) -> list[np.ndarray]:
+        """Every node's merge of local lift + fresh child states.
+
+        The scatter ops apply per-edge in ascending-child order (edges are
+        materialized sorted by child index), which reproduces the object
+        path's dict-ordered left fold exactly for the loss-free case.
+        """
+        horizon = now - self.stale_after * self.interval
+        fresh = self.has_entry & ~(self.cached_at < horizon)
+        included = fresh[self.push_rows]
+        child = self.push_rows[included]
+        parent = self.parent_index[included]
+        if self.aggregate == "count":
+            merged = self._lift.copy()
+            np.add.at(merged, parent, self.cache[0][child])
+            return [merged]
+        if self.aggregate == "sum":
+            merged = self.values.copy()
+            np.add.at(merged, parent, self.cache[0][child])
+            return [merged]
+        if self.aggregate == "min":
+            merged = self.values.copy()
+            np.minimum.at(merged, parent, self.cache[0][child])
+            return [merged]
+        if self.aggregate == "max":
+            merged = self.values.copy()
+            np.maximum.at(merged, parent, self.cache[0][child])
+            return [merged]
+        # avg: (sum, count) componentwise
+        totals = self.values.copy()
+        counts = np.ones(len(self.block), dtype=np.int64)
+        np.add.at(totals, parent, self.cache[0][child])
+        np.add.at(counts, parent, self.cache[1][child])
+        return [totals, counts]
+
+    def _state_lengths(self, cols: list[np.ndarray], rows: np.ndarray) -> np.ndarray:
+        """JSON byte length of each pushed state body."""
+        if self.aggregate == "count":
+            return int_digit_counts(cols[0][rows])
+        if self.aggregate == "avg":
+            return (
+                self._tuple_overhead
+                + float_repr_lengths(cols[0][rows])
+                + int_digit_counts(cols[1][rows])
+            )
+        return float_repr_lengths(cols[0][rows])
+
+    def _finalize(self, cols: list[np.ndarray], i: int) -> Any:
+        if self.aggregate == "count":
+            return int(cols[0][i])
+        if self.aggregate == "avg":
+            return float(cols[0][i]) / int(cols[1][i])
+        return float(cols[0][i])
+
+    def push_round(self) -> None:
+        """Execute one push interval for every node (the slab hot path)."""
+        now = self.transport.now()
+        cols = self._merged_columns(now)
+        self.estimate = self._finalize(cols, self.owner_index)
+        rows = self.push_rows
+        n_push = len(rows)
+        if n_push == 0:
+            return
+        self.pushes_sent[rows] += 1
+        telemetry.count("agg_pushes_total", float(n_push))
+        msg_id_start = reserve_msg_ids(n_push)
+        sizes = (
+            self._fixed_overhead
+            + self._src_digits
+            + self._dst_digits
+            + int_digit_counts(msg_id_start + np.arange(n_push, dtype=np.int64))
+            + self._state_lengths(cols, rows)
+        )
+        state_cols = {f"state{j}": col[rows] for j, col in enumerate(cols)}
+        batch = MessageBatch(
+            kind="agg_push",
+            sources=self.block.ids[rows],
+            destinations=self.parent_ids,
+            sizes=sizes,
+            msg_id_start=msg_id_start,
+            payload_columns=state_cols,
+            payload_of=lambda i: {
+                "key": self.key,
+                "state": self._encode_row(state_cols, i),
+            },
+        )
+        self.transport.send_batch(batch, self._on_deliver)
+        self.rounds_run += 1
+
+    def _encode_row(self, state_cols: dict[str, np.ndarray], i: int) -> Any:
+        """Wire encoding of one pushed state (materialization/debug only)."""
+        if self.aggregate == "count":
+            return int(state_cols["state0"][i])
+        if self.aggregate == "avg":
+            return {
+                "__tuple__": [
+                    float(state_cols["state0"][i]),
+                    int(state_cols["state1"][i]),
+                ]
+            }
+        return float(state_cols["state0"][i])
+
+    def _on_deliver(self, batch: MessageBatch, rows: np.ndarray) -> None:
+        """Fold a delivered batch into the per-child caches."""
+        child = self.push_rows[rows]
+        for j, _col in enumerate(self.cache):
+            self.cache[j][child] = batch.payload_columns[f"state{j}"][rows]
+        self.cached_at[child] = self.transport.now()
+        self.has_entry[child] = True
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Arm the periodic round timer (first round after one interval)."""
+
+        def tick() -> None:
+            self.push_round()
+            self._cancel = self.transport.schedule(self.interval, tick)
+
+        self._cancel = self.transport.schedule(self.interval, tick)
+
+    def stop(self) -> None:
+        """Cancel the periodic round timer."""
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def state_nbytes(self) -> int:
+        """Bytes of array state this run owns, including its share of the
+        block (ids + finger matrix) — the protocol-mode memory gate input."""
+        owned = (
+            self.values.nbytes
+            + self.cached_at.nbytes
+            + self.has_entry.nbytes
+            + self.pushes_sent.nbytes
+            + self.push_rows.nbytes
+            + self.parent_ids.nbytes
+            + self.parent_index.nbytes
+            + self._src_digits.nbytes
+            + self._dst_digits.nbytes
+            + sum(col.nbytes for col in self.cache)
+        )
+        if self._lift is not None:
+            owned += self._lift.nbytes
+        return owned + self.block.state_nbytes()
+
+
+def run_protocol_slab(
+    ring: StaticRing,
+    key: int,
+    rounds: int,
+    aggregate: str = "sum",
+    scheme: str = "balanced",
+    values: np.ndarray | None = None,
+    interval: float = 1.0,
+    stale_after: float = 4.0,
+    transport: SimTransport | None = None,
+) -> ProtocolRunResult:
+    """Run ``rounds`` continuous-push intervals through the slab path.
+
+    The run horizon is ``rounds * interval``: round-``rounds`` pushes are
+    sent (and accounted) but their deliveries stay in flight, exactly like
+    the oracle's horizon.
+    """
+    transport = transport if transport is not None else SimTransport()
+    block = ChordNodeBlock.from_ring(ring)
+    if values is None:
+        values = np.ones(len(block), dtype=np.float64)
+    run = SlabContinuousRun(
+        block,
+        transport,
+        key,
+        aggregate,
+        values,
+        scheme=scheme,
+        interval=interval,
+        stale_after=stale_after,
+    )
+    run.start()
+    transport.run(until=rounds * interval)
+    run.stop()
+    sent, received, bytes_sent, bytes_received = _per_node_traffic(
+        transport, block.ids
+    )
+    return ProtocolRunResult(
+        n_nodes=len(block),
+        scheme=scheme,
+        aggregate=aggregate,
+        key=int(key),
+        root=run.root,
+        rounds=rounds,
+        estimate=run.estimate,
+        pushes_total=int(run.pushes_sent.sum()),
+        ids=block.ids,
+        sent=sent,
+        received=received,
+        bytes_sent=bytes_sent,
+        bytes_received=bytes_received,
+        state_bytes=run.state_nbytes(),
+    )
+
+
+def run_protocol_oracle(
+    ring: StaticRing,
+    key: int,
+    rounds: int,
+    aggregate: str = "sum",
+    scheme: str = "balanced",
+    values: np.ndarray | None = None,
+    interval: float = 1.0,
+    stale_after: float = 4.0,
+    transport: SimTransport | None = None,
+) -> ProtocolRunResult:
+    """The same scenario through real per-node ``DatNodeService`` objects.
+
+    This is the bit-exactness oracle for :func:`run_protocol_slab`:
+    services start in ascending-ident order at t=0 (first push after one
+    interval), finger tables are the converged ring's, ``d0`` is the
+    overlay convention ``space.size / n``. O(n) object state — intended
+    for n <= a few thousand.
+    """
+    transport = transport if transport is not None else SimTransport()
+    space = ring.space
+    ids = ring.id_index().ids
+    n = len(ids)
+    if values is None:
+        values = np.ones(n, dtype=np.float64)
+    root = ring.successor(key)
+    d0 = space.size / n
+
+    services: list[DatNodeService] = []
+    hosts: list[StandaloneDatHost] = []
+    for i, ident in enumerate(ids.tolist()):
+        host = StandaloneDatHost(ident, space, transport)
+        table = ring.finger_table(ident)
+        service = DatNodeService(
+            host,
+            finger_provider=lambda table=table: table,
+            value_provider=lambda v=float(values[i]): v,
+            scheme=scheme,
+            d0_provider=(lambda: d0) if scheme == "balanced" else None,
+        )
+        hosts.append(host)
+        services.append(service)
+    for service in services:
+        service.start_continuous(
+            key, root, aggregate, interval, stale_after=stale_after
+        )
+    transport.run(until=rounds * interval)
+
+    root_pos = int(np.searchsorted(ids, np.int64(root)))
+    estimate = services[root_pos].root_estimate(key)
+    pushes = sum(s._continuous[key].pushes_sent for s in services)
+    for service in services:
+        service.close()
+    for host in hosts:
+        host.shutdown()
+    sent, received, bytes_sent, bytes_received = _per_node_traffic(transport, ids)
+    return ProtocolRunResult(
+        n_nodes=n,
+        scheme=scheme,
+        aggregate=aggregate,
+        key=int(key),
+        root=int(root),
+        rounds=rounds,
+        estimate=estimate,
+        pushes_total=int(pushes),
+        ids=ids,
+        sent=sent,
+        received=received,
+        bytes_sent=bytes_sent,
+        bytes_received=bytes_received,
+        state_bytes=0,
+    )

@@ -20,6 +20,7 @@ from repro.devtools.datlint.rules import (  # noqa: F401  (import-for-effect)
     dat011_lifecycle,
     dat012_unordered_iter,
     dat014_untraced_forward,
+    dat015_hotpath_alloc,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "dat011_lifecycle",
     "dat012_unordered_iter",
     "dat014_untraced_forward",
+    "dat015_hotpath_alloc",
 ]

@@ -31,7 +31,12 @@ from repro.experiments.fig8_load_balance import (
 from repro.experiments.fig9_accuracy import run_fig9_accuracy
 from repro.experiments.maan_routing import run_maan_routing
 from repro.experiments.report import format_table
-from repro.experiments.scale import SCALE_SIZES, run_scale_sweep
+from repro.experiments.scale import (
+    PROTOCOL_SIZES,
+    SCALE_SIZES,
+    run_protocol_sweep,
+    run_scale_sweep,
+)
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -163,6 +168,13 @@ def _dynamics(args: argparse.Namespace) -> str:
 
 
 def _scale(args: argparse.Namespace) -> str:
+    if args.protocol:
+        sizes = [1024, 4096] if args.quick else PROTOCOL_SIZES
+        points = run_protocol_sweep(sizes=sizes, seed=args.seed)
+        return format_table(
+            [p.as_row() for p in points],
+            title="Scale — live protocol (slab path) at 10^4-10^5+ nodes",
+        )
     sizes = [1024, 4096] if args.quick else SCALE_SIZES
     points = run_scale_sweep(sizes=sizes, seed=args.seed)
     return format_table(
@@ -195,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="which figures to regenerate",
     )
     parser.add_argument("--quick", action="store_true", help="small fast configs")
+    parser.add_argument(
+        "--protocol",
+        action="store_true",
+        help=(
+            "scale experiment: run the live continuous-push protocol "
+            "(slab path) instead of the analytical statistics sweep"
+        ),
+    )
     parser.add_argument("--nodes", type=int, default=512, help="network size where applicable")
     parser.add_argument("--seed", type=int, default=2007, help="master seed")
     parser.add_argument(

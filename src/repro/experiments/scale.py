@@ -19,6 +19,7 @@ enforces at every size where the oracle is affordable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro import telemetry
 from repro.baselines.centralized import centralized_routed_loads
@@ -32,12 +33,31 @@ from repro.chord.idspace import IdSpace
 from repro.chord.ring import StaticRing
 from repro.core.analysis import imbalance_factor
 from repro.core.builder import DatScheme, build_balanced_dat, build_basic_dat
+from repro.core.slab import run_protocol_oracle, run_protocol_slab
 from repro.core.tree import TreeStats
+from repro.sim.messages import reset_msg_ids
 
-__all__ = ["SCALE_SIZES", "ScalePoint", "measure_scale_point", "run_scale_sweep"]
+__all__ = [
+    "SCALE_SIZES",
+    "PROTOCOL_SIZES",
+    "PROTOCOL_ROUNDS",
+    "ScalePoint",
+    "ProtocolScalePoint",
+    "measure_scale_point",
+    "run_scale_sweep",
+    "measure_protocol_point",
+    "run_protocol_sweep",
+]
 
 #: The scale sweep's x-axis: 2x steps from 16k to 262k nodes.
 SCALE_SIZES = [16384, 65536, 131072, 262144]
+
+#: The protocol sweep's x-axis (live message exchange, not just statistics).
+PROTOCOL_SIZES = [16384, 65536, 131072]
+
+#: Default push intervals per protocol point — comfortably past the
+#: balanced tree height at these sizes, so the root estimate converges.
+PROTOCOL_ROUNDS = 30
 
 
 @dataclass(frozen=True)
@@ -169,6 +189,173 @@ def measure_scale_point(
         balanced_imbalance=balanced_imb,
         centralized_imbalance=central_imb,
     )
+
+
+@dataclass(frozen=True)
+class ProtocolScalePoint:
+    """One *live-protocol* run at scale: real pushes through the transport.
+
+    Unlike :class:`ScalePoint` (converged analytical statistics), every
+    number here comes from simulated message exchange — ``rounds``
+    continuous-push intervals with per-message wire accounting. The slab
+    and oracle modes agree exactly on every field except
+    ``state_bytes_per_node`` (the slab's array footprint; the oracle's
+    object webs are not meaningfully comparable and report 0.0).
+    """
+
+    n_nodes: int
+    id_strategy: str
+    seed: int
+    scheme: str
+    aggregate: str
+    rounds: int
+    estimate: Any
+    expected: Any
+    converged: bool
+    messages_total: int
+    bytes_total: int
+    pushes_total: int
+    max_load: int
+    imbalance: float
+    state_bytes_per_node: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Flat dict for tables and the benchmark's JSON output."""
+        return {
+            "n": self.n_nodes,
+            "ids": self.id_strategy,
+            "scheme": self.scheme,
+            "aggregate": self.aggregate,
+            "rounds": self.rounds,
+            "estimate": self.estimate,
+            "converged": self.converged,
+            "messages_total": self.messages_total,
+            "bytes_total": self.bytes_total,
+            "pushes_total": self.pushes_total,
+            "max_load": self.max_load,
+            "imbalance": self.imbalance,
+            "state_bytes_per_node": self.state_bytes_per_node,
+        }
+
+    def exactness_key(self) -> tuple[Any, ...]:
+        """The fields both modes must agree on bit-for-bit."""
+        return (
+            self.estimate,
+            self.messages_total,
+            self.bytes_total,
+            self.pushes_total,
+            self.max_load,
+            self.imbalance,
+        )
+
+
+def measure_protocol_point(
+    n_nodes: int,
+    bits: int = 32,
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    key: int = 0xA5A5A5,
+    scheme: str = "balanced",
+    aggregate: str = "sum",
+    rounds: int = PROTOCOL_ROUNDS,
+    interval: float = 1.0,
+    oracle: bool = False,
+) -> ProtocolScalePoint:
+    """Run one live continuous-push protocol point.
+
+    Local values are all 1.0, so the converged SUM equals the membership
+    size — a self-evident correctness check at any scale. ``oracle=True``
+    drives real per-node :class:`~repro.core.service.DatNodeService`
+    objects instead of the slab (affordable to a few thousand nodes); the
+    message-id sequence is reset at the start of each point so the two
+    modes produce byte-identical wire traffic.
+    """
+    space = IdSpace(bits)
+    ring = make_assigner(id_strategy).build_ring(space, n_nodes, rng=seed)
+    rendezvous = space.wrap(key)
+    reset_msg_ids()
+    run = run_protocol_oracle if oracle else run_protocol_slab
+    result = run(
+        ring,
+        rendezvous,
+        rounds,
+        aggregate=aggregate,
+        scheme=scheme,
+        interval=interval,
+    )
+    loads = result.sent + result.received
+    expected: Any = float(n_nodes) if aggregate == "sum" else None
+    if aggregate == "count":
+        expected = n_nodes
+    elif aggregate in ("min", "max", "avg"):
+        expected = 1.0
+    return ProtocolScalePoint(
+        n_nodes=n_nodes,
+        id_strategy=id_strategy,
+        seed=seed,
+        scheme=scheme,
+        aggregate=aggregate,
+        rounds=rounds,
+        estimate=result.estimate,
+        expected=expected,
+        converged=result.estimate == expected,
+        messages_total=result.messages_total,
+        bytes_total=result.bytes_total,
+        pushes_total=result.pushes_total,
+        max_load=int(loads.max()),
+        imbalance=imbalance_factor(loads),
+        state_bytes_per_node=(
+            result.state_bytes / n_nodes if result.state_bytes else 0.0
+        ),
+    )
+
+
+def run_protocol_sweep(
+    sizes: list[int] | None = None,
+    bits: int = 32,
+    seed: int = 2007,
+    id_strategy: str = "probing",
+    key: int = 0xA5A5A5,
+    scheme: str = "balanced",
+    aggregate: str = "sum",
+    rounds: int = PROTOCOL_ROUNDS,
+    oracle: bool = False,
+) -> list[ProtocolScalePoint]:
+    """Measure the live-protocol sweep (the ``--protocol`` experiment mode).
+
+    Publishes per-point ``scale_protocol_messages`` /
+    ``scale_protocol_imbalance`` gauges when telemetry is enabled; wall
+    clocks belong to ``benchmarks/bench_scale.py`` as usual.
+    """
+    sizes = sizes if sizes is not None else PROTOCOL_SIZES
+    points: list[ProtocolScalePoint] = []
+    with telemetry.span(
+        "experiment.scale_protocol", n_sizes=len(sizes), oracle=oracle
+    ):
+        for n_nodes in sizes:
+            point = measure_protocol_point(
+                n_nodes,
+                bits=bits,
+                seed=seed,
+                id_strategy=id_strategy,
+                key=key,
+                scheme=scheme,
+                aggregate=aggregate,
+                rounds=rounds,
+                oracle=oracle,
+            )
+            points.append(point)
+            if telemetry.is_enabled():
+                labels = {"scheme": scheme, "ids": id_strategy, "n": n_nodes}
+                telemetry.gauge_set(
+                    "scale_protocol_messages",
+                    float(point.messages_total),
+                    **labels,
+                )
+                telemetry.gauge_set(
+                    "scale_protocol_imbalance", point.imbalance, **labels
+                )
+    return points
 
 
 def run_scale_sweep(

@@ -27,12 +27,14 @@ from repro.errors import SimulationError
 __all__ = ["Event", "IndexedEventHeap", "TickHook", "SimulationEngine"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """One scheduled callback.
 
     Ordering is (time, sequence) — the sequence number breaks ties in
-    insertion order, making simulations deterministic.
+    insertion order, making simulations deterministic. ``slots=True``
+    trims per-event memory by roughly half: at 10^5 scheduled deliveries
+    the event queue itself is a measurable share of peak RSS.
     """
 
     time: float

@@ -25,6 +25,25 @@ class LatencyModel(ABC):
     def sample(self, source: int, destination: int) -> float:
         """One-way delay in seconds for a message ``source -> destination``."""
 
+    def sample_array(
+        self, sources: np.ndarray, destinations: np.ndarray
+    ) -> np.ndarray:
+        """Delays for many message pairs at once (batched transport path).
+
+        The default delegates to :meth:`sample` element-wise, so stochastic
+        models consume their RNG stream in exactly the per-message order —
+        batched and scalar sends stay trace-identical. Deterministic models
+        override this with a closed form.
+        """
+        return np.fromiter(
+            (
+                self.sample(int(src), int(dst))
+                for src, dst in zip(sources.tolist(), destinations.tolist())
+            ),
+            dtype=np.float64,
+            count=len(sources),
+        )
+
 
 class ConstantLatency(LatencyModel):
     """Fixed delay for every message (deterministic simulations)."""
@@ -35,6 +54,11 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, source: int, destination: int) -> float:
         return self.delay
+
+    def sample_array(
+        self, sources: np.ndarray, destinations: np.ndarray
+    ) -> np.ndarray:
+        return np.full(len(sources), self.delay, dtype=np.float64)
 
 
 class UniformLatency(LatencyModel):

@@ -2,8 +2,12 @@
 
 Messages are delivered through the :class:`~repro.sim.engine.SimulationEngine`
 after a latency drawn from a pluggable model; optional loss and per-node
-failure injection support the churn experiments. This is the substrate the
-paper used for networks of up to 8192 nodes.
+failure injection support the churn experiments. The paper validated its
+protocols on networks of up to 8192 nodes; this substrate goes well past
+that — the scalar per-message path is comfortable to ~10^4 nodes, and the
+batched slab path (:meth:`SimTransport.send_batch`, driven by
+:mod:`repro.core.slab`) runs full protocol rounds at 10^5+ nodes
+(see ``docs/PERFORMANCE.md``, "Protocol-path scaling").
 
 Loss injected here surfaces to protocol code as RPC timeouts; the session
 layer in :mod:`repro.net` decides what happens next (give up, or retransmit
@@ -21,7 +25,7 @@ import numpy as np
 from repro import telemetry
 from repro.sim.engine import SimulationEngine, TickHook
 from repro.sim.latency import ConstantLatency, LatencyModel
-from repro.sim.messages import Message
+from repro.sim.messages import Message, MessageBatch
 from repro.sim.transport import Transport
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_probability
@@ -132,6 +136,79 @@ class SimTransport(Transport):
 
         delay = self.latency.sample(message.source, message.destination)
         self.engine.schedule(delay, deliver, label=f"deliver:{message.kind}")
+
+    # ------------------------------------------------------------------ #
+    # Batched slab path
+    # ------------------------------------------------------------------ #
+
+    def send_batch(
+        self,
+        batch: MessageBatch,
+        deliver: Callable[[MessageBatch, np.ndarray], None],
+    ) -> None:
+        """Send every row of ``batch`` in one shot (the slab hot path).
+
+        Semantically equivalent to calling :meth:`send` on each
+        materialized row — identical accounting (every attempt is counted
+        at the sender, survivors at the receiver), identical failure/loss
+        filtering *in the same order* (failure check first, then one loss
+        draw per failure-survivor, consuming the RNG stream exactly as the
+        scalar path would), identical latency sampling — but the per-row
+        cost is a few vector ops, and delivery is scheduled as one engine
+        event per distinct delay instead of one per message.
+
+        Delivery bypasses per-node handler registration: surviving rows are
+        handed back to ``deliver(batch, row_indices)`` at arrival time,
+        after per-destination receive accounting and a re-check of the
+        failure set (a destination crashed mid-flight drops its rows, just
+        as the scalar path drops its message). Batch endpoints (the slab
+        protocol runner) own their own routing, so responses, timers, and
+        the pending-call table are not involved.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        self.stats.record_send_bulk(batch.sources, batch.sizes, kind=batch.kind)
+        telemetry.count("messages_sent_total", float(n), kind=batch.kind)
+        alive = np.ones(n, dtype=bool)
+        if self._failed:
+            failed = np.fromiter(self._failed, dtype=np.int64, count=len(self._failed))
+            alive = ~(np.isin(batch.sources, failed) | np.isin(batch.destinations, failed))
+        if self.loss_rate > 0:
+            # One draw per failure-survivor, in row order — the exact RNG
+            # consumption of the equivalent scalar send sequence.
+            draws = self._rng.random(int(alive.sum()))
+            kept = draws >= self.loss_rate
+            survivors = np.flatnonzero(alive)[kept]
+        else:
+            survivors = np.flatnonzero(alive)
+        if len(survivors) == 0:
+            return
+        delays = self.latency.sample_array(
+            batch.sources[survivors], batch.destinations[survivors]
+        )
+        for delay in np.unique(delays):
+            rows = survivors[delays == delay]
+            self.engine.schedule(
+                float(delay),
+                lambda rows=rows: self._deliver_batch(batch, rows, deliver),
+                label=f"deliver:{batch.kind}:batch",
+            )
+
+    def _deliver_batch(
+        self,
+        batch: MessageBatch,
+        rows: np.ndarray,
+        deliver: Callable[[MessageBatch, np.ndarray], None],
+    ) -> None:
+        if self._failed:
+            failed = np.fromiter(self._failed, dtype=np.int64, count=len(self._failed))
+            rows = rows[~np.isin(batch.destinations[rows], failed)]
+        if len(rows) == 0:
+            return
+        self.stats.record_receive_bulk(batch.destinations[rows], batch.sizes[rows])
+        telemetry.count("messages_received_total", float(len(rows)), kind=batch.kind)
+        deliver(batch, rows)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Callable[[], None]:
         event = self.engine.schedule(delay, callback, label="timer")

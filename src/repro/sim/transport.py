@@ -62,6 +62,25 @@ class Transport(ABC):
         self._handlers: dict[int, MessageHandler] = {}
         # Pending request-id -> (on_reply, cancel_timeout, source node)
         self._pending: dict[int, _PendingCall] = {}
+        # Secondary index: source node -> {msg_id: None} (an insertion-ordered
+        # set). Keeps unregister/cancel_calls proportional to the *node's own*
+        # outstanding calls instead of a scan over every pending entry — at
+        # 10^5 nodes the full-scan version turned teardown into O(n^2).
+        self._pending_by_source: dict[int, dict[int, None]] = {}
+
+    def _pending_add(self, msg_id: int, entry: _PendingCall) -> None:
+        self._pending[msg_id] = entry
+        self._pending_by_source.setdefault(entry.source, {})[msg_id] = None
+
+    def _pending_pop(self, msg_id: int) -> _PendingCall | None:
+        entry = self._pending.pop(msg_id, None)
+        if entry is not None:
+            bucket = self._pending_by_source.get(entry.source)
+            if bucket is not None:
+                bucket.pop(msg_id, None)
+                if not bucket:
+                    del self._pending_by_source[entry.source]
+        return entry
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -136,15 +155,15 @@ class Transport(ABC):
         deadline = self.default_timeout if timeout is None else timeout
 
         def expire() -> None:
-            entry = self._pending.pop(message.msg_id, None)
+            entry = self._pending_pop(message.msg_id)
             if entry is not None and on_timeout is not None:
                 on_timeout(message)
 
-        stale = self._pending.pop(message.msg_id, None)
+        stale = self._pending_pop(message.msg_id)
         if stale is not None:
             stale.cancel()
         cancel = _no_cancel if math.isinf(deadline) else self.schedule(deadline, expire)
-        self._pending[message.msg_id] = _PendingCall(on_reply, cancel, message.source)
+        self._pending_add(message.msg_id, _PendingCall(on_reply, cancel, message.source))
 
     def call(
         self,
@@ -166,16 +185,18 @@ class Transport(ABC):
         """Cancel every pending call originated by ``source``.
 
         Returns the number of calls cancelled; neither their reply nor
-        their timeout continuation will fire.
+        their timeout continuation will fire. Cost is proportional to the
+        number of calls *this* source has outstanding (via the
+        per-source index), not to the transport-wide pending count.
         """
-        stale = [
-            msg_id
-            for msg_id, entry in self._pending.items()
-            if entry.source == source
-        ]
-        for msg_id in stale:
-            self._pending.pop(msg_id).cancel()
-        return len(stale)
+        bucket = self._pending_by_source.pop(source, None)
+        if bucket is None:
+            return 0
+        for msg_id in bucket:
+            entry = self._pending.pop(msg_id, None)
+            if entry is not None:
+                entry.cancel()
+        return len(bucket)
 
     def cancel_all_calls(self) -> int:
         """Cancel every pending call, whoever originated it.
@@ -192,6 +213,7 @@ class Transport(ABC):
             entry = self._pending.pop(msg_id, None)
             if entry is not None:
                 entry.cancel()
+        self._pending_by_source.clear()
         return count
 
     def _dispatch(self, message: Message) -> None:
@@ -201,8 +223,8 @@ class Transport(ABC):
         receive thread, etc.). Message accounting is the subclass's duty —
         it knows the wire size.
         """
-        if message.is_response:
-            entry = self._pending.pop(message.reply_to, None)
+        if message.reply_to is not None:
+            entry = self._pending_pop(message.reply_to)
             if entry is not None:
                 entry.cancel()
                 entry.on_reply(message)

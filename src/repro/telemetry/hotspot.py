@@ -20,6 +20,8 @@ import threading
 from collections import defaultdict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.telemetry.config import DEFAULT_PERCENTILES
 
 __all__ = ["NodeLoad", "LoadSample", "HotspotAccountant", "percentile"]
@@ -122,6 +124,48 @@ class HotspotAccountant:
         with self._lock:
             self._received[node] += 1
             self._bytes_received[node] += size
+
+    def record_send_bulk(
+        self, nodes: np.ndarray, sizes: np.ndarray, kind: str | None = None
+    ) -> None:
+        """Count one sent message per ``(nodes[i], sizes[i])`` pair.
+
+        Equivalent to ``record_send`` in a loop but takes the lock once and
+        collapses the per-node dict churn to one update per *distinct*
+        sender — the batched transport path records a 10^5-message round in
+        a few array ops instead of 10^5 locked dict increments.
+        """
+        if len(nodes) == 0:
+            return
+        unique, inverse, counts = np.unique(
+            nodes, return_inverse=True, return_counts=True
+        )
+        byte_totals = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(byte_totals, inverse, np.asarray(sizes, dtype=np.int64))
+        with self._lock:
+            for node, sent, size in zip(
+                unique.tolist(), counts.tolist(), byte_totals.tolist()
+            ):
+                self._sent[node] += sent
+                self._bytes_sent[node] += size
+            if kind is not None:
+                self._by_kind[kind] += len(nodes)
+
+    def record_receive_bulk(self, nodes: np.ndarray, sizes: np.ndarray) -> None:
+        """Count one received message per ``(nodes[i], sizes[i])`` pair."""
+        if len(nodes) == 0:
+            return
+        unique, inverse, counts = np.unique(
+            nodes, return_inverse=True, return_counts=True
+        )
+        byte_totals = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(byte_totals, inverse, np.asarray(sizes, dtype=np.int64))
+        with self._lock:
+            for node, received, size in zip(
+                unique.tolist(), counts.tolist(), byte_totals.tolist()
+            ):
+                self._received[node] += received
+                self._bytes_received[node] += size
 
     def add_load(self, node: int, sent: int = 0, received: int = 0) -> None:
         """Attribute precomputed message counts to ``node`` in bulk.

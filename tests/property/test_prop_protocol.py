@@ -1,17 +1,27 @@
-"""Property-based protocol tests: stabilization converges from any join order.
+"""Property-based protocol tests.
 
-Bounded (small rings, few examples) because each case runs a discrete-event
-simulation; the property is the crucial one — the overlay the DAT layer
-reads always converges to the ideal ring regardless of membership order.
+Two families share the file: stabilization convergence (the overlay the
+DAT layer reads always converges to the ideal ring regardless of
+membership order) and the slab equivalence contract (the bulk-simulation
+path reproduces the per-node service oracle bit for bit). Bounded (small
+rings, few examples) because each case runs a discrete-event simulation.
 """
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.chord.idgen import make_assigner
 from repro.chord.idspace import IdSpace
 from repro.chord.network import ChordNetwork
 from repro.chord.node import ChordConfig
+from repro.core.slab import (
+    SLAB_AGGREGATES,
+    run_protocol_oracle,
+    run_protocol_slab,
+)
 from repro.sim.latency import ConstantLatency
+from repro.sim.messages import reset_msg_ids
 from repro.sim.simnet import SimTransport
 
 
@@ -78,3 +88,94 @@ class TestConvergenceProperties:
             node.fix_all_fingers()
         network.settle(10.0)
         assert network.finger_convergence_fraction() == 1.0
+
+
+# --------------------------------------------------------------------- #
+# Slab path == per-node service oracle (the bulk-simulation contract)
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def slab_scenarios(draw):
+    bits = draw(st.sampled_from([12, 16, 32]))
+    space = IdSpace(bits)
+    n = draw(st.integers(min_value=2, max_value=64))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    strategy = draw(st.sampled_from(["random", "probing"]))
+    ring = make_assigner(strategy).build_ring(space, n, rng=seed)
+    key = draw(st.integers(min_value=0, max_value=space.max_id))
+    scheme = draw(st.sampled_from(["basic", "balanced"]))
+    aggregate = draw(st.sampled_from(SLAB_AGGREGATES))
+    values = np.random.default_rng(seed).uniform(-100.0, 100.0, size=n)
+    return ring, key, scheme, aggregate, values
+
+
+def _run_both(ring, key, scheme, aggregate, values, rounds=6, loss=0.0):
+    """Run slab and oracle with identical seeds and message-id streams."""
+    reset_msg_ids()
+    slab = run_protocol_slab(
+        ring, key, rounds, aggregate=aggregate, scheme=scheme,
+        values=values, transport=SimTransport(loss_rate=loss, rng=1234),
+    )
+    reset_msg_ids()
+    oracle = run_protocol_oracle(
+        ring, key, rounds, aggregate=aggregate, scheme=scheme,
+        values=values, transport=SimTransport(loss_rate=loss, rng=1234),
+    )
+    return slab, oracle
+
+
+def _assert_identical(slab, oracle):
+    """Every protocol-observable quantity, bit for bit."""
+    assert slab.root == oracle.root
+    assert slab.estimate == oracle.estimate  # exact: same IEEE fold order
+    assert slab.pushes_total == oracle.pushes_total
+    np.testing.assert_array_equal(slab.ids, oracle.ids)
+    np.testing.assert_array_equal(slab.sent, oracle.sent)
+    np.testing.assert_array_equal(slab.received, oracle.received)
+    np.testing.assert_array_equal(slab.bytes_sent, oracle.bytes_sent)
+    np.testing.assert_array_equal(slab.bytes_received, oracle.bytes_received)
+
+
+class TestSlabOracleEquivalence:
+    """run_protocol_slab reproduces run_protocol_oracle exactly.
+
+    Loss-free: all five aggregates, both schemes, random values (float
+    merge order matters and must match). Lossy: order-insensitive
+    aggregates only (count/min/max) — the oracle's child-dict insertion
+    order depends on which pushes survive, which no fixed-order kernel
+    can reproduce for float sums.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(slab_scenarios())
+    def test_loss_free_bit_identical(self, scenario):
+        ring, key, scheme, aggregate, values = scenario
+        slab, oracle = _run_both(ring, key, scheme, aggregate, values)
+        _assert_identical(slab, oracle)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        slab_scenarios(),
+        st.sampled_from(["count", "min", "max"]),
+        st.floats(min_value=0.05, max_value=0.4),
+    )
+    def test_lossy_order_insensitive_bit_identical(
+        self, scenario, aggregate, loss
+    ):
+        ring, key, scheme, _, values = scenario
+        slab, oracle = _run_both(
+            ring, key, scheme, aggregate, values, loss=loss
+        )
+        _assert_identical(slab, oracle)
+
+    def test_converged_sum_at_1024_both_schemes(self):
+        # Fixed mid-size anchor: full convergence and exact equality.
+        ring = make_assigner("probing").build_ring(IdSpace(32), 1024, rng=2007)
+        for scheme in ("basic", "balanced"):
+            slab, oracle = _run_both(
+                ring, 0xA5A5A5, scheme, "sum",
+                np.ones(1024, dtype=np.float64), rounds=24,
+            )
+            _assert_identical(slab, oracle)
+            assert slab.estimate == 1024.0

@@ -1,0 +1,199 @@
+"""ChordNodeBlock / MatrixFingerView — exact equivalence with the object path.
+
+The block is the protocol path's shared routing state; every query it
+answers must match the scalar :class:`~repro.chord.fingers.FingerTable`
+machinery bit for bit. These tests assert that identity over full rings:
+finger views slot-for-slot, ``closest_preceding`` for swept keys and slot
+caps, ``key_parents`` against the scalar key-addressed rule of
+``DatNodeService.parent_toward_key``, and the vectorized balanced limits
+against the ``Fraction``-exact :class:`~repro.core.limiting.FingerLimiter`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chord.block import ChordNodeBlock, MatrixFingerView, balanced_limits
+from repro.chord.fingers import FingerLike, FingerTable
+from repro.chord.idgen import make_assigner
+from repro.chord.idspace import IdSpace
+from repro.chord.ring import StaticRing
+from repro.core.limiting import FingerLimiter
+from repro.errors import IdentifierError, TreeError
+
+
+def build_ring(n, bits=16, seed=11, strategy="random"):
+    space = IdSpace(bits)
+    return make_assigner(strategy).build_ring(space, n, rng=seed)
+
+
+def scalar_parent_toward_key(table, key, scheme, d0):
+    """The key-addressed rule exactly as DatNodeService.parent_toward_key."""
+    space = table.space
+    if scheme == "balanced":
+        x = space.cw(table.owner, key)
+        max_slot = FingerLimiter.for_gap(d0)(x)
+    else:
+        max_slot = None
+    parent = table.closest_preceding(key, max_slot=max_slot)
+    if parent is None:
+        successor = table.successor
+        return successor if successor != table.owner else None
+    return parent
+
+
+class TestMatrixFingerView:
+    def test_implements_finger_like(self):
+        block = ChordNodeBlock.from_ring(build_ring(32))
+        assert isinstance(block.finger_view(0), FingerLike)
+
+    @pytest.mark.parametrize("n", [2, 3, 17, 64, 300])
+    def test_matches_finger_table_slot_for_slot(self, n):
+        ring = build_ring(n)
+        block = ChordNodeBlock.from_ring(ring)
+        for i, ident in enumerate(block.ids.tolist()):
+            view = block.finger_view(i)
+            table = ring.finger_table(ident)
+            assert view.owner == table.owner == ident
+            assert view.successor == table.successor
+            assert len(view) == len(table.entries)
+            for j, entry in enumerate(table.entries):
+                assert view.finger(j) == entry
+
+    @pytest.mark.parametrize("n", [2, 17, 128])
+    def test_closest_preceding_matches(self, n):
+        ring = build_ring(n, seed=n)
+        block = ChordNodeBlock.from_ring(ring)
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, ring.space.size, size=40).tolist()
+        keys += block.ids.tolist()  # include every member id (distance 0)
+        for i, ident in enumerate(block.ids.tolist()):
+            view = block.finger_view(i)
+            table = ring.finger_table(ident)
+            for key in keys:
+                for max_slot in (None, 0, 1, 3, ring.space.bits - 1):
+                    assert view.closest_preceding(
+                        key, max_slot=max_slot
+                    ) == table.closest_preceding(key, max_slot=max_slot), (
+                        ident,
+                        key,
+                        max_slot,
+                    )
+
+    def test_finger_index_bounds(self):
+        block = ChordNodeBlock.from_ring(build_ring(8))
+        view = block.finger_view(0)
+        with pytest.raises(IdentifierError):
+            view.finger(-1)
+        with pytest.raises(IdentifierError):
+            view.finger(block.space.bits)
+
+
+class TestBalancedLimits:
+    def test_matches_scalar_limiter_integer_gap(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(1, 2**32, size=500)
+        for d0 in (1.0, 2.0, 4096.0, 2.0**32 / 300):
+            limiter = FingerLimiter.for_gap(d0)
+            expected = np.array([limiter(int(v)) for v in x], dtype=np.int64)
+            np.testing.assert_array_equal(balanced_limits(x, d0), expected)
+
+    def test_matches_scalar_limiter_fractional_gap(self):
+        # Non-power-of-two populations give fractional d0 (q > 1).
+        rng = np.random.default_rng(4)
+        x = rng.integers(1, 2**20, size=200)
+        for n in (3, 7, 300, 1021):
+            d0 = 2.0**20 / n
+            limiter = FingerLimiter.for_gap(d0)
+            expected = np.array([limiter(int(v)) for v in x], dtype=np.int64)
+            np.testing.assert_array_equal(balanced_limits(x, d0), expected)
+
+    def test_scalar_fallback_on_wide_values(self):
+        # Force the int64 guard to fail: huge x times a large denominator.
+        x = np.array([2**61, 2**61 + 12345], dtype=np.int64)
+        d0 = 3.0000000001  # limit_denominator gives a large q
+        limiter = FingerLimiter.for_gap(d0)
+        expected = np.array([limiter(int(v)) for v in x], dtype=np.int64)
+        np.testing.assert_array_equal(balanced_limits(x, d0), expected)
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(ValueError):
+            balanced_limits(np.array([1]), 0.0)
+
+
+class TestChordNodeBlock:
+    def test_from_ring_matches_ring_queries(self):
+        ring = build_ring(100, seed=5)
+        block = ChordNodeBlock.from_ring(ring)
+        assert len(block) == 100
+        assert block.ids.tolist() == sorted(ring.nodes)
+        np.testing.assert_array_equal(
+            block.successors(),
+            np.array([ring.successor_of_node(i) for i in block.ids.tolist()]),
+        )
+        rng = np.random.default_rng(9)
+        for key in rng.integers(0, ring.space.size, size=50).tolist():
+            owner = int(block.ids[block.owner_index(key)])
+            assert owner == ring.successor(key)
+
+    def test_index_of(self):
+        block = ChordNodeBlock.from_ring(build_ring(16))
+        for i, ident in enumerate(block.ids.tolist()):
+            assert block.index_of(ident) == i
+        missing = next(
+            v for v in range(block.space.size) if v not in set(block.ids.tolist())
+        )
+        with pytest.raises(IdentifierError):
+            block.index_of(missing)
+
+    def test_rejects_wide_space_and_empty_ring(self):
+        with pytest.raises(TreeError):
+            ChordNodeBlock.from_ring(StaticRing(IdSpace(64), [1, 2]))
+        with pytest.raises(TreeError):
+            ChordNodeBlock.from_ring(StaticRing(IdSpace(16)))
+
+    def test_shape_validation(self):
+        space = IdSpace(8)
+        with pytest.raises(TreeError):
+            ChordNodeBlock(
+                space,
+                np.array([1, 2], dtype=np.int64),
+                np.zeros((2, 4), dtype=np.int64),
+            )
+
+    @pytest.mark.parametrize("scheme", ["basic", "balanced"])
+    @pytest.mark.parametrize("n", [2, 3, 33, 256])
+    def test_key_parents_match_scalar_rule(self, n, scheme):
+        ring = build_ring(n, seed=n + 1)
+        block = ChordNodeBlock.from_ring(ring)
+        d0 = ring.space.size / n
+        rng = np.random.default_rng(n)
+        keys = rng.integers(0, ring.space.size, size=8).tolist()
+        keys += block.ids.tolist()[:4]  # keys landing on members
+        for key in keys:
+            parents = block.key_parents(key, scheme=scheme, d0=d0)
+            for i, ident in enumerate(block.ids.tolist()):
+                table = ring.finger_table(ident)
+                expected = scalar_parent_toward_key(table, key, scheme, d0)
+                actual = int(parents[i])
+                assert actual == (-1 if expected is None else expected), (
+                    n,
+                    scheme,
+                    key,
+                    ident,
+                )
+
+    def test_key_parents_lone_ring(self):
+        block = ChordNodeBlock.from_ring(StaticRing(IdSpace(8), [42]))
+        parents = block.key_parents(7, scheme="basic")
+        assert parents.tolist() == [-1]
+
+    def test_key_parents_rejects_unknown_scheme(self):
+        block = ChordNodeBlock.from_ring(build_ring(8))
+        with pytest.raises(ValueError):
+            block.key_parents(0, scheme="bogus")
+
+    def test_state_nbytes_is_shared_and_small(self):
+        ring = build_ring(512, bits=32, seed=2)
+        block = ChordNodeBlock.from_ring(ring)
+        # ids (8 B) + one matrix row (8 * bits B) per node.
+        assert block.state_nbytes() == 512 * 8 * (1 + 32)

@@ -45,6 +45,7 @@ def test_all_rules_registered():
         "DAT008",
         "DAT009",
         "DAT014",
+        "DAT015",
     ]
     assert [r.code for r in all_program_rules()] == [
         "DAT005",
@@ -457,6 +458,77 @@ def test_dat014_ignores_fresh_payloads_and_other_layers(tmp_path):
         "                      payload={**message.payload}))\n"
     )
     diagnostics, _ = lint_snippet(tmp_path, forward, relpath="repro/net/relay.py")
+    assert diagnostics == []
+
+
+# --------------------------------------------------------------------- #
+# DAT015 — per-message allocation in batched hot paths
+# --------------------------------------------------------------------- #
+
+
+def test_dat015_flags_per_message_alloc_in_hot_loop(tmp_path):
+    source = (
+        "def send_batch(self, batch, deliver):\n"
+        "    for i in range(len(batch)):\n"
+        "        payload = {'value': batch.values[i]}\n"
+        "        self._enqueue(Message(kind='push', source=1,\n"
+        "                              destination=2, payload=payload))\n"
+    )
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/sim/simnet.py"
+    )
+    assert [d.rule for d in diagnostics] == ["DAT015", "DAT015"]
+
+
+def test_dat015_allows_per_batch_alloc_outside_loop(tmp_path):
+    # One dict per *batch* is the intended shape; only per-row
+    # allocation inside the loop is flagged.
+    source = (
+        "def send_batch(self, batch, deliver):\n"
+        "    by_delay = {}\n"
+        "    columns = {name: col.copy() for name, col in batch.columns()}\n"
+        "    for i in range(len(batch)):\n"
+        "        by_delay.setdefault(batch.delays[i], []).append(i)\n"
+    )
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/sim/simnet.py"
+    )
+    assert diagnostics == []
+
+
+def test_dat015_ignores_non_hot_modules_and_functions(tmp_path):
+    source = (
+        "def send_batch(self, batch, deliver):\n"
+        "    for i in range(len(batch)):\n"
+        "        payload = {'value': i}\n"
+    )
+    # Same code outside the hot-module map is someone else's slow path.
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/chord/node.py"
+    )
+    assert diagnostics == []
+    # A non-hot function in a hot module is also exempt.
+    slow = (
+        "def debug_dump(self, batch):\n"
+        "    for i in range(len(batch)):\n"
+        "        self.rows.append({'value': i})\n"
+    )
+    diagnostics, _ = lint_snippet(tmp_path, slow, relpath="repro/sim/simnet.py")
+    assert diagnostics == []
+
+
+def test_dat015_ignores_deferred_bodies(tmp_path):
+    # Lambdas and nested defs run on the slow path (lazy
+    # materialization), not per delivered message.
+    source = (
+        "def _deliver_batch(self, batch):\n"
+        "    for i in range(len(batch)):\n"
+        "        thunk = lambda i=i: {'value': batch.values[i]}\n"
+        "        self._lazy.append(thunk)\n"
+    )
+    diagnostics, _ = lint_snippet(
+        tmp_path, source, relpath="repro/sim/simnet.py"
+    )
     assert diagnostics == []
 
 

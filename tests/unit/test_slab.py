@@ -1,0 +1,139 @@
+"""Slab protocol runner — wire-size arithmetic and batch mechanics.
+
+The slab path never JSON-encodes a message, yet claims byte-exact traffic
+accounting: every row of a :class:`~repro.sim.messages.MessageBatch` must
+carry exactly the size its materialized scalar
+:class:`~repro.sim.messages.Message` would put on the wire. These tests
+capture the batches a run emits and compare row sizes against
+``message(i).encoded_size()`` for every aggregate, which pins the whole
+arithmetic chain (envelope overhead, digit counts, ``repr`` lengths,
+tuple-state overhead). Full slab-vs-oracle protocol equivalence lives in
+``tests/property/test_prop_protocol.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chord.block import ChordNodeBlock
+from repro.chord.idgen import make_assigner
+from repro.chord.idspace import IdSpace
+from repro.core.slab import (
+    SLAB_AGGREGATES,
+    SlabContinuousRun,
+    run_protocol_oracle,
+    run_protocol_slab,
+)
+from repro.errors import AggregationError
+from repro.sim.messages import reset_msg_ids
+from repro.sim.simnet import SimTransport
+
+
+def build_ring(n, bits=16, seed=3):
+    return make_assigner("random").build_ring(IdSpace(bits), n, rng=seed)
+
+
+def capture_batches(transport):
+    """Shadow send_batch with a capturing wrapper (still delivers)."""
+    captured = []
+    original = transport.send_batch
+
+    def wrapper(batch, deliver):
+        captured.append(batch)
+        original(batch, deliver)
+
+    transport.send_batch = wrapper
+    return captured
+
+
+class TestBatchWireSizes:
+    @pytest.mark.parametrize("aggregate", SLAB_AGGREGATES)
+    @pytest.mark.parametrize("scheme", ["basic", "balanced"])
+    def test_sizes_equal_materialized_encoded_size(self, aggregate, scheme):
+        reset_msg_ids()
+        ring = build_ring(40)
+        transport = SimTransport()
+        captured = capture_batches(transport)
+        rng = np.random.default_rng(8)
+        values = rng.uniform(-50.0, 50.0, size=40)  # varied repr lengths
+        run_protocol_slab(
+            ring,
+            key=0x3A7,
+            rounds=4,
+            aggregate=aggregate,
+            scheme=scheme,
+            values=values,
+            transport=transport,
+        )
+        assert captured, "no batches captured"
+        for batch in captured:
+            for i in range(len(batch)):
+                message = batch.message(i)
+                assert int(batch.sizes[i]) == message.encoded_size(), (
+                    aggregate,
+                    scheme,
+                    i,
+                    message,
+                )
+
+    def test_msg_ids_contiguous_across_rounds(self):
+        reset_msg_ids()
+        ring = build_ring(16)
+        transport = SimTransport()
+        captured = capture_batches(transport)
+        run_protocol_slab(ring, key=1, rounds=3, transport=transport)
+        all_ids = np.concatenate([batch.msg_ids() for batch in captured])
+        assert all_ids.tolist() == list(range(1, len(all_ids) + 1))
+
+
+class TestSlabRunValidation:
+    def test_rejects_unsupported_aggregate(self):
+        ring = build_ring(8)
+        block = ChordNodeBlock.from_ring(ring)
+        with pytest.raises(AggregationError):
+            SlabContinuousRun(
+                block, SimTransport(), 1, "histogram", np.ones(8)
+            )
+
+    def test_rejects_mismatched_values(self):
+        ring = build_ring(8)
+        block = ChordNodeBlock.from_ring(ring)
+        with pytest.raises(AggregationError):
+            SlabContinuousRun(block, SimTransport(), 1, "sum", np.ones(5))
+
+    def test_run_protocol_rejects_unsupported_aggregate(self):
+        with pytest.raises(AggregationError):
+            run_protocol_slab(build_ring(8), 1, rounds=1, aggregate="std")
+
+
+class TestRunResults:
+    def test_result_shape_and_convergence(self):
+        reset_msg_ids()
+        ring = build_ring(64, seed=5)
+        result = run_protocol_slab(ring, key=99, rounds=20)
+        assert result.n_nodes == 64
+        assert result.root == ring.successor(99)
+        assert result.estimate == 64.0  # SUM of unit values == membership
+        assert result.messages_total == int(result.sent.sum())
+        assert result.bytes_total == int(result.bytes_sent.sum())
+        assert result.pushes_total == result.messages_total
+        # 63 pushers, one push per round.
+        assert result.messages_total == 63 * 20
+
+    def test_state_bytes_within_memory_gate(self):
+        reset_msg_ids()
+        ring = build_ring(256, bits=32, seed=6)
+        result = run_protocol_slab(ring, key=5, rounds=2)
+        assert 0 < result.state_bytes / result.n_nodes <= 4096
+
+    def test_oracle_small_ring_agrees(self):
+        # The cheapest end-to-end cross-check; the property suite sweeps.
+        ring = build_ring(24, seed=9)
+        reset_msg_ids()
+        slab = run_protocol_slab(ring, key=7, rounds=6)
+        reset_msg_ids()
+        oracle = run_protocol_oracle(ring, key=7, rounds=6)
+        assert slab.estimate == oracle.estimate
+        assert slab.root == oracle.root
+        assert slab.pushes_total == oracle.pushes_total
+        np.testing.assert_array_equal(slab.sent, oracle.sent)
+        np.testing.assert_array_equal(slab.bytes_sent, oracle.bytes_sent)

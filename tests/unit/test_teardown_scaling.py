@@ -1,0 +1,111 @@
+"""Teardown cost regression: unregister must not scan the pending table.
+
+An earlier ``Transport.unregister`` cancelled a node's outstanding calls
+by scanning every pending entry — O(pending) per node, O(n^2) for a mass
+teardown, which at 10^5 nodes turned shutdown into the dominant cost. The
+fix is a per-source secondary index (``_pending_by_source``); these tests
+pin the *operation counts*, not wall-clock, so they are deterministic:
+tearing down n nodes with one outstanding call each must perform zero
+full-table iterations and O(1) dict operations per node. Run at n=16384
+(the array-backed threshold) to make any reintroduced scan unmistakable.
+"""
+
+import math
+
+from repro.sim.messages import Message
+from repro.sim.simnet import SimTransport
+
+N_NODES = 16384
+
+
+class CountingDict(dict):
+    """Dict that counts full iterations and per-key pops."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.iterations = 0
+        self.pops = 0
+
+    def __iter__(self):
+        self.iterations += 1
+        return super().__iter__()
+
+    def keys(self):
+        self.iterations += 1
+        return super().keys()
+
+    def values(self):
+        self.iterations += 1
+        return super().values()
+
+    def items(self):
+        self.iterations += 1
+        return super().items()
+
+    def pop(self, *args):
+        self.pops += 1
+        return super().pop(*args)
+
+
+def build_loaded_transport(n):
+    """n registered nodes, each with one outstanding (deadline-free) call."""
+    transport = SimTransport()
+    pending = CountingDict()
+    transport._pending = pending
+    for node in range(1, n + 1):
+        transport.register(node, lambda message: None)
+        request = Message(
+            kind="probe", source=node, destination=0, payload={}
+        )
+        transport.expect(
+            request, on_reply=lambda reply: None, timeout=math.inf
+        )
+    assert transport.pending_calls() == n
+    return transport, pending
+
+
+class TestUnregisterScaling:
+    def test_mass_unregister_never_scans_pending(self):
+        transport, pending = build_loaded_transport(N_NODES)
+        pending.iterations = 0
+        pending.pops = 0
+        for node in range(1, N_NODES + 1):
+            transport.unregister(node)
+        assert transport.pending_calls() == 0
+        assert not transport._pending_by_source
+        # Zero full-table scans; exactly one pop per cancelled entry.
+        assert pending.iterations == 0
+        assert pending.pops == N_NODES
+
+    def test_unregister_only_cancels_own_calls(self):
+        transport, _ = build_loaded_transport(8)
+        transport.unregister(3)
+        assert transport.pending_calls() == 7
+        remaining = {entry.source for entry in transport._pending.values()}
+        assert remaining == {1, 2, 4, 5, 6, 7, 8}
+
+    def test_cancel_all_calls_clears_source_index(self):
+        transport, _ = build_loaded_transport(16)
+        assert transport.cancel_all_calls() == 16
+        assert transport.pending_calls() == 0
+        assert not transport._pending_by_source
+
+    def test_reply_routing_cleans_source_index(self):
+        transport, _ = build_loaded_transport(4)
+        # A matched response must remove the entry from both tables.
+        request_id = next(iter(transport._pending))
+        source = transport._pending[request_id].source
+        response = Message(
+            kind="probe_reply",
+            source=0,
+            destination=source,
+            payload={},
+            reply_to=request_id,
+        )
+        transport.send(response)
+        transport.run(until=transport.now() + 1.0)
+        assert request_id not in transport._pending
+        assert all(
+            request_id not in bucket
+            for bucket in transport._pending_by_source.values()
+        )
